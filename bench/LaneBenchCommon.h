@@ -1,0 +1,81 @@
+//===- LaneBenchCommon.h - Shared driver for Figures 8.1-8.4 ----*- C++ -*-===//
+//
+// Part of the Parcae reproduction. Each of the response-time figures
+// (video transcoding, option pricing, data compression, image editing)
+// sweeps the load factor and prints mean response time for the two static
+// configurations, WQT-H, and WQ-Linear — the exact series of the paper's
+// plots.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_BENCH_LANEBENCHCOMMON_H
+#define PARCAE_BENCH_LANEBENCHCOMMON_H
+
+#include "support/Table.h"
+#include "workloads/Experiment.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace parcae::rt {
+
+/// Runs the Figure 8.x sweep for one lane application and prints it.
+inline void runLaneFigure(const char *Figure, const LaneAppParams &P,
+                          unsigned Cores = 24, std::uint64_t Requests = 500) {
+  unsigned DPmax = P.Scal.dPmax();
+  unsigned DPmin = P.Scal.dPmin();
+  unsigned KPar = std::max(1u, Cores / DPmax);
+  LaneConfig OuterOnly{Cores, false, 1};
+  LaneConfig InnerPar{KPar, true, DPmax};
+  // WQT-H threshold and hysteresis: toggle when the backlog exceeds about
+  // one round of parallel lanes; WQ-Linear bottoms out at ~2x that.
+  double Threshold = 2.0 * KPar;
+  double Qmax = 4.0 * KPar;
+
+  std::printf("== %s: %s response time vs load "
+              "(24-core platform, %llu Poisson requests) ==\n",
+              Figure, P.Name.c_str(),
+              static_cast<unsigned long long>(Requests));
+  std::printf("   static A = %s, static B = %s, dPmax=%u dPmin=%u\n\n",
+              OuterOnly.str(P.InnerKind).c_str(),
+              InnerPar.str(P.InnerKind).c_str(), DPmax, DPmin);
+
+  Table T({"load", "Static<outer>", "Static<inner>", "WQT-H", "WQ-Linear",
+           "winner"});
+  const double Loads[] = {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1};
+  for (double Load : Loads) {
+    double R[4];
+    {
+      StaticLane M(OuterOnly);
+      R[0] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+    }
+    {
+      StaticLane M(InnerPar);
+      R[1] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+    }
+    {
+      WqtH M(Threshold, 6, 6, OuterOnly, InnerPar);
+      R[2] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+    }
+    {
+      WqLinear M(Cores, DPmax, DPmin, Qmax);
+      R[3] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+    }
+    const char *Names[] = {"Static<outer>", "Static<inner>", "WQT-H",
+                           "WQ-Linear"};
+    int Best = 0;
+    for (int I = 1; I < 4; ++I)
+      if (R[I] < R[Best])
+        Best = I;
+    T.addRow({Table::num(Load, 1), Table::num(R[0], 2), Table::num(R[1], 2),
+              Table::num(R[2], 2), Table::num(R[3], 2), Names[Best]});
+  }
+  T.print();
+  std::printf("\n(expected shape: Static<inner> wins at light load,"
+              " Static<outer> at heavy load; the adaptive mechanisms track"
+              " the better static on both sides)\n");
+}
+
+} // namespace parcae::rt
+
+#endif // PARCAE_BENCH_LANEBENCHCOMMON_H

@@ -1,0 +1,13 @@
+//===- bench_fig8_1_transcode.cpp - Figure 8.1 -------------------------------===//
+//
+// Video transcoding (x264): response time vs load under Static, WQT-H,
+// and WQ-Linear mechanisms (Section 8.2.1, Figure 8.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LaneBenchCommon.h"
+
+int main() {
+  parcae::rt::runLaneFigure("Figure 8.1", parcae::rt::x264Params());
+  return 0;
+}

@@ -1,0 +1,13 @@
+//===- bench_fig8_2_swaptions.cpp - Figure 8.2 --------------------------------===//
+//
+// Option pricing (swaptions): response time vs load under Static, WQT-H,
+// and WQ-Linear mechanisms (Section 8.2.1, Figure 8.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LaneBenchCommon.h"
+
+int main() {
+  parcae::rt::runLaneFigure("Figure 8.2", parcae::rt::swaptionsParams());
+  return 0;
+}

@@ -1,0 +1,15 @@
+//===- bench_fig8_3_compress.cpp - Figure 8.3 ---------------------------------===//
+//
+// Data compression (bzip): response time vs load under Static, WQT-H, and
+// WQ-Linear mechanisms (Section 8.2.1, Figure 8.3). bzip's inner pipeline
+// only profits from DoP 4 on, which leaves WQ-Linear few useful
+// configurations — the paper notes it degenerates to roughly WQT-H here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LaneBenchCommon.h"
+
+int main() {
+  parcae::rt::runLaneFigure("Figure 8.3", parcae::rt::bzipParams());
+  return 0;
+}

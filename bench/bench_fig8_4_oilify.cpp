@@ -1,0 +1,13 @@
+//===- bench_fig8_4_oilify.cpp - Figure 8.4 -----------------------------------===//
+//
+// Image editing (GIMP oilify): response time vs load under Static, WQT-H,
+// and WQ-Linear mechanisms (Section 8.2.1, Figure 8.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LaneBenchCommon.h"
+
+int main() {
+  parcae::rt::runLaneFigure("Figure 8.4", parcae::rt::oilifyParams());
+  return 0;
+}

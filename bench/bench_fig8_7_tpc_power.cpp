@@ -1,0 +1,73 @@
+//===- bench_fig8_7_tpc_power.cpp - Figure 8.7 --------------------------------===//
+//
+// Image search engine under the TPC (throughput-power controller)
+// mechanism: power and throughput over time with a 90%-of-peak power
+// target (Section 8.2.3, Figure 8.7). 90% of peak total power is 60% of
+// the dynamic CPU range on the modelled platform; power samples arrive at
+// the AP7892 PDU's 13 samples per minute, which bounds the control-loop
+// bandwidth exactly as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+#include "workloads/Experiment.h"
+
+#include <cstdio>
+
+using namespace parcae;
+using namespace parcae::rt;
+
+int main() {
+  sim::PowerModel PM;
+  double Peak = PM.peakWatts(24);
+  double Target = 0.9 * Peak;
+
+  TpcMechanism Tpc;
+  PipelineRunSpec Spec;
+  Spec.Requests = 9000;
+  Spec.Initial = evenConfig(makeFerret(), Scheme::PsDswp, 1);
+  Spec.Mech = &Tpc;
+  Spec.MechPeriod = 400 * sim::MSec;
+  Spec.PowerTargetWatts = Target;
+  Spec.Power = PM;
+  PipelineRunResult R = runPipelineExperiment(makeFerret, Spec);
+
+  std::printf("== Figure 8.7: ferret power/throughput under TPC ==\n");
+  std::printf("   peak power %.0f W, target %.0f W (90%% of peak = 60%% of"
+              " the dynamic range)\n\n",
+              Peak, Target);
+  Table T({"time(s)", "power(W)", "queries/s", "config"});
+  std::string LastCfg;
+  for (std::size_t I = 0; I < R.Timeline.size(); ++I) {
+    const auto &S = R.Timeline[I];
+    std::string Cfg = S.Config.str();
+    if (Cfg != LastCfg || I % 12 == 0)
+      T.addRow({Table::num(sim::toSeconds(S.At), 1),
+                Table::num(S.PowerWatts, 0), Table::num(S.Throughput, 1),
+                Cfg});
+    LastCfg = Cfg;
+  }
+  T.print();
+
+  // Steady-state summary (second half of the run).
+  double SumP = 0, SumT = 0;
+  unsigned N = 0, Violations = 0;
+  for (const auto &S : R.Timeline) {
+    if (S.At < R.Server.Makespan / 2 || S.PowerWatts <= 0)
+      continue;
+    SumP += S.PowerWatts;
+    SumT += S.Throughput;
+    ++N;
+    if (S.PowerWatts > Target + PM.PerCoreActiveWatts)
+      ++Violations;
+  }
+  if (N > 0)
+    std::printf("\nsteady state: %.0f W (%.0f%% of peak), %.1f queries/s,"
+                " %.0f%% samples over budget\n",
+                SumP / N, 100.0 * (SumP / N) / Peak, SumT / N,
+                100.0 * Violations / N);
+  std::printf("(paper: stabilizes at the power target with ~62%% of peak"
+              " throughput; transients are limited by the PDU's 13"
+              " samples/minute)\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+//===- bench_overheads.cpp - Morta/Decima overheads (Section 8.3.6) -----------===//
+//
+// Two halves:
+//
+//  1. Simulated run-time overheads, measured on the virtual platform the
+//     way Section 8.3.6 reports them: per-iteration monitoring cost, the
+//     end-to-end latency of an in-place DoP change, and the latency of a
+//     full pause-drain-resume (scheme switch).
+//  2. Host-side compiler costs (google-benchmark): PDG construction,
+//     PS-DSWP partitioning, and whole-loop compilation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "morta/RegionRunner.h"
+#include "nona/Programs.h"
+#include "support/Table.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace parcae;
+using namespace parcae::rt;
+using namespace parcae::ir;
+namespace sim = parcae::sim;
+
+namespace {
+
+FlexibleRegion makeTinyPipeline() {
+  FlexibleRegion R("ovh");
+  RegionDesc D;
+  D.Name = "ovh-pipe";
+  D.S = Scheme::PsDswp;
+  D.Tasks.emplace_back("a", TaskType::Seq, [](IterationContext &C) {
+    C.Cost = 1000;
+    C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+  });
+  D.Tasks.emplace_back("b", TaskType::Par,
+                       [](IterationContext &C) { C.Cost = 8000; });
+  D.Links.push_back({0, 1});
+  R.addVariant(std::move(D));
+  {
+    RegionDesc S;
+    S.Name = "ovh-seq";
+    S.S = Scheme::Seq;
+    S.Tasks.emplace_back("all", TaskType::Seq,
+                         [](IterationContext &C) { C.Cost = 9000; });
+    R.addVariant(std::move(S));
+  }
+  return R;
+}
+
+void printSimulatedOverheads() {
+  RuntimeCosts Costs;
+  std::printf("== Section 8.3.6: Morta/Decima overheads ==\n\n");
+  Table Consts({"constant (model)", "cycles @1GHz"});
+  Consts.addRow({"Decima begin/end hook pair (2x rdtsc)",
+                 Table::num(static_cast<long long>(Costs.HookCost))});
+  Consts.addRow({"Task::getStatus() query",
+                 Table::num(static_cast<long long>(Costs.StatusQuery))});
+  Consts.addRow({"channel send / recv",
+                 Table::num(static_cast<long long>(Costs.CommSend))});
+  Consts.addRow({"per-iteration heap spill (unoptimized 7.1)",
+                 Table::num(static_cast<long long>(Costs.HeapSpill))});
+  Consts.print();
+
+  // In-place DoP change latency: time until a worker on the new slot
+  // retires its first iteration.
+  {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 8);
+    CountedWorkSource Src(1'000'000'000ull);
+    FlexibleRegion Region = makeTinyPipeline();
+    RegionRunner Runner(M, Costs, Region, Src);
+    RegionConfig C;
+    C.S = Scheme::PsDswp;
+    C.DoP = {1, 2};
+    Runner.start(C);
+    Sim.runUntil(2 * sim::MSec);
+    std::uint64_t Before = Runner.totalRetired();
+    sim::SimTime T0 = Sim.now();
+    RegionConfig N = C;
+    N.DoP = {1, 4};
+    Runner.reconfigure(N);
+    // Run until throughput reflects the new width (retire 40 more).
+    while (Runner.totalRetired() < Before + 40 && !Sim.empty())
+      Sim.runOne();
+    std::printf("\nin-place DoP change (2 -> 4): applied instantly;"
+                " 40 iterations retired within %.1f us\n",
+                static_cast<double>(Sim.now() - T0) / 1000.0);
+  }
+
+  // Full pause-drain-resume latency (scheme switch).
+  {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 8);
+    CountedWorkSource Src(1'000'000'000ull);
+    FlexibleRegion Region = makeTinyPipeline();
+    RegionRunner Runner(M, Costs, Region, Src);
+    RegionConfig C;
+    C.S = Scheme::PsDswp;
+    C.DoP = {1, 4};
+    Runner.start(C);
+    Sim.runUntil(2 * sim::MSec);
+    sim::SimTime T0 = Sim.now();
+    bool Resumed = false;
+    sim::SimTime TResume = 0;
+    Runner.OnReconfigured = [&] {
+      Resumed = true;
+      TResume = Sim.now();
+    };
+    RegionConfig N;
+    N.S = Scheme::Seq;
+    N.DoP = {1};
+    Runner.reconfigure(N);
+    while (!Resumed && !Sim.empty())
+      Sim.runOne();
+    std::printf("full pause-drain-resume (PS-DSWP -> SEQ): %.1f us"
+                " (drain + barrier + reconfigure + respawn)\n\n",
+                static_cast<double>(TResume - T0) / 1000.0);
+  }
+}
+
+// --- host-side compiler costs -----------------------------------------
+
+void BM_PdgBuild(benchmark::State &State) {
+  LoopProgram P = makeBranchy(64);
+  for (auto _ : State) {
+    PDG G(*P.F, P.AA);
+    benchmark::DoNotOptimize(G.edges().size());
+  }
+}
+BENCHMARK(BM_PdgBuild);
+
+void BM_PsdswpPartition(benchmark::State &State) {
+  LoopProgram P = makeChase(64);
+  PDG G(*P.F, P.AA);
+  for (auto _ : State) {
+    PartitionPlan Plan = psdswpPartition(G, CompilerOptions{});
+    benchmark::DoNotOptimize(Plan.Tasks.size());
+  }
+}
+BENCHMARK(BM_PsdswpPartition);
+
+void BM_CompileLoop(benchmark::State &State) {
+  for (auto _ : State) {
+    LoopProgram P = makeHistogram(64, 16);
+    CompiledLoop CL(*P.F, P.AA, P.TripCount);
+    benchmark::DoNotOptimize(CL.hasDoAny());
+  }
+}
+BENCHMARK(BM_CompileLoop);
+
+void BM_WidthScheduleQuery(benchmark::State &State) {
+  WidthSchedule S(4);
+  for (unsigned I = 1; I <= 8; ++I)
+    S.append(I * 1000, 1 + I % 7);
+  std::uint64_t Seq = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.firstSeqFor(Seq % 5, Seq));
+    ++Seq;
+  }
+}
+BENCHMARK(BM_WidthScheduleQuery);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSimulatedOverheads();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

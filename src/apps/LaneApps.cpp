@@ -1,0 +1,156 @@
+//===- LaneApps.cpp - Two-level loop-nest server applications --------------===//
+
+#include "apps/LaneApps.h"
+
+#include <cmath>
+
+using namespace parcae::rt;
+namespace sim = parcae::sim;
+
+double InnerScalability::speedup(unsigned L) const {
+  if (L <= 1)
+    return 1.0;
+  double X = static_cast<double>(L - 1);
+  double Denom = 1.0 + FixedTax + Linear * X + Quad * X * X;
+  double S = static_cast<double>(L) / Denom;
+  if (Knee > 0 && L > Knee) {
+    // Beyond the knee (frame-parallelism limit, cache capacity, ...) the
+    // speedup decays instead of growing.
+    double AtKnee = speedup(Knee);
+    double Decay = 1.0 - KneeDecay * static_cast<double>(L - Knee);
+    S = std::max(AtKnee * std::max(Decay, 0.3), 1.0);
+  }
+  return S;
+}
+
+unsigned InnerScalability::dPmax(unsigned Limit) const {
+  // The paper's dPmax: the largest useful team size — the smallest DoP
+  // that maximizes the speedup curve (growing past it wastes threads or
+  // loses performance).
+  unsigned BestL = 1;
+  double BestS = 1.0;
+  for (unsigned L = 2; L <= Limit; ++L) {
+    double S = speedup(L);
+    if (S > BestS) {
+      BestS = S;
+      BestL = L;
+    }
+  }
+  return BestL;
+}
+
+unsigned InnerScalability::dPmin(unsigned Limit) const {
+  for (unsigned L = 2; L <= Limit; ++L)
+    if (speedup(L) > 1.0)
+      return L;
+  return 1;
+}
+
+LaneAppParams parcae::rt::x264Params() {
+  LaneAppParams P;
+  P.Name = "x264";
+  P.MeanWork = 25 * sim::Sec; // ~25 s to transcode one video sequentially
+  P.WorkJitter = 0.15;
+  P.InnerKind = "PIPE";
+  P.Scal = {0.01, 0.015, 0.003, 8, 0.08}; // S(8) ~ 6.3 (Section 2.3)
+  return P;
+}
+
+LaneAppParams parcae::rt::swaptionsParams() {
+  LaneAppParams P;
+  P.Name = "swaptions";
+  P.MeanWork = 8 * sim::Sec;
+  P.WorkJitter = 0.10;
+  P.InnerKind = "DOALL";
+  P.Scal = {0.005, 0.010, 0.0008, 8, 0.05};
+  return P;
+}
+
+LaneAppParams parcae::rt::bzipParams() {
+  LaneAppParams P;
+  P.Name = "bzip";
+  P.MeanWork = 9 * sim::Sec;
+  P.WorkJitter = 0.12;
+  P.InnerKind = "PIPE";
+  // Heavy fixed parallelization tax: speedup only from DoP 4 on
+  // (Section 8.2.1 notes bzip's dPmin is four).
+  P.Scal = {2.0, 0.010, 0.001, 6, 0.06};
+  return P;
+}
+
+LaneAppParams parcae::rt::oilifyParams() {
+  LaneAppParams P;
+  P.Name = "oilify";
+  P.MeanWork = 20 * sim::Sec;
+  P.WorkJitter = 0.10;
+  P.InnerKind = "DOALL";
+  P.Scal = {0.01, 0.008, 0.0015, 8, 0.05};
+  return P;
+}
+
+std::string LaneConfig::str(const char *InnerKind) const {
+  std::string Out = "<(" + std::to_string(K) + ",DOALL),(";
+  if (InnerParallel)
+    Out += std::to_string(L) + "," + InnerKind;
+  else
+    Out += "1,SEQ";
+  Out += ")>";
+  return Out;
+}
+
+LaneServerApp::LaneServerApp(sim::Machine &M, const RuntimeCosts &Costs,
+                             LaneAppParams Params, QueueWorkSource &Queue)
+    : Params(std::move(Params)), Queue(Queue),
+      K(std::make_shared<Knobs>()), Region(this->Params.Name) {
+  InnerScalability Scal = this->Params.Scal;
+  auto Kn = K;
+  QueueWorkSource *Q = &Queue;
+  LaneServerApp *Self = this;
+  RegionDesc D;
+  D.Name = this->Params.Name + "-lanes";
+  D.S = Scheme::DoAny;
+  D.Tasks.emplace_back("lane", TaskType::Par,
+                       [Kn, Scal, Q, Self](IterationContext &Ctx) {
+                         auto Req = std::static_pointer_cast<Request>(
+                             Ctx.In[0].Ref);
+                         assert(Req && "lane iteration without a request");
+                         double S =
+                             Kn->InnerParallel ? Scal.speedup(Kn->L) : 1.0;
+                         auto Cost = static_cast<sim::SimTime>(
+                             static_cast<double>(Req->Work) / S);
+                         Ctx.Cost = Cost;
+                         Ctx.Gang = Kn->InnerParallel ? Kn->L : 1;
+                         Req->CompleteTime = Ctx.Now + Cost;
+                         if (Self->OnDispatch)
+                           Self->OnDispatch(static_cast<double>(Q->size()));
+                       });
+  Region.addVariant(std::move(D));
+  Runner = std::make_unique<RegionRunner>(M, Costs, Region, Queue);
+}
+
+void LaneServerApp::start(LaneConfig C) {
+  Config = C;
+  K->InnerParallel = C.InnerParallel;
+  K->L = C.L;
+  RegionConfig RC;
+  RC.S = Scheme::DoAny;
+  RC.DoP = {C.K};
+  Runner->start(RC);
+}
+
+void LaneServerApp::reconfigure(LaneConfig C) {
+  K->InnerParallel = C.InnerParallel;
+  K->L = C.L;
+  if (C.K != Config.K) {
+    RegionConfig RC;
+    RC.S = Scheme::DoAny;
+    RC.DoP = {C.K};
+    Runner->reconfigure(std::move(RC));
+  }
+  Config = C;
+}
+
+parcae::sim::SimTime LaneServerApp::execTime(unsigned L) const {
+  return static_cast<sim::SimTime>(static_cast<double>(Params.MeanWork) /
+                                   Params.Scal.speedup(L));
+}

@@ -1,0 +1,143 @@
+//===- PipelineApps.cpp - Pipeline server applications ---------------------===//
+
+#include "apps/PipelineApps.h"
+
+using namespace parcae::rt;
+namespace sim = parcae::sim;
+
+namespace {
+
+/// Deterministic per-(request, stage) cost jitter in [0.75, 1.25).
+double jitterFor(std::uint64_t Id, unsigned Stage) {
+  std::uint64_t H = (Id + 1) * 0x9e3779b97f4a7c15ull;
+  H ^= (Stage + 1) * 0xbf58476d1ce4e5b9ull;
+  H = (H ^ (H >> 30)) * 0x94d049bb133111ebull;
+  H ^= H >> 31;
+  return 0.75 + static_cast<double>(H % 1000) / 2000.0;
+}
+
+/// Builds the Task for one stage. \p StageIdx keys the jitter so fused
+/// variants reproduce the same per-request work as the split pipeline.
+Task makeStageTask(const StageParams &SP, unsigned StageIdx, bool IsTail) {
+  sim::SimTime Mean = SP.MeanCost;
+  sim::SimTime Crit = SP.CritCost;
+  int Lock = SP.CritLock;
+  return Task(SP.Name, SP.Type,
+              [Mean, Crit, Lock, StageIdx, IsTail](IterationContext &Ctx) {
+                const Token &In = Ctx.In[0];
+                auto Req = std::static_pointer_cast<Request>(In.Ref);
+                assert(Req && "pipeline iteration without a request");
+                double J = jitterFor(Req->Id, StageIdx);
+                Ctx.Cost = static_cast<sim::SimTime>(
+                    static_cast<double>(Mean) * J);
+                if (Crit > 0)
+                  Ctx.Criticals.push_back({Lock, Crit});
+                for (Token &O : Ctx.Out) {
+                  O.Ref = In.Ref;
+                  O.Value = In.Value;
+                  O.Work = In.Work;
+                }
+                if (IsTail)
+                  Req->CompleteTime = Ctx.Now + Ctx.Cost;
+              });
+}
+
+/// A fused middle task running the work of stages [From, To].
+Task makeFusedTask(const std::vector<StageParams> &Stages, unsigned From,
+                   unsigned To) {
+  std::vector<StageParams> Mid(Stages.begin() + From,
+                               Stages.begin() + To + 1);
+  unsigned Base = From;
+  return Task("fused", TaskType::Par,
+              [Mid, Base](IterationContext &Ctx) {
+                const Token &In = Ctx.In[0];
+                auto Req = std::static_pointer_cast<Request>(In.Ref);
+                assert(Req && "pipeline iteration without a request");
+                sim::SimTime Total = 0;
+                for (unsigned I = 0; I < Mid.size(); ++I) {
+                  double J = jitterFor(Req->Id, Base + I);
+                  Total += static_cast<sim::SimTime>(
+                      static_cast<double>(Mid[I].MeanCost) * J);
+                  if (Mid[I].CritCost > 0)
+                    Ctx.Criticals.push_back(
+                        {Mid[I].CritLock, Mid[I].CritCost});
+                }
+                Ctx.Cost = Total;
+                for (Token &O : Ctx.Out) {
+                  O.Ref = In.Ref;
+                  O.Value = In.Value;
+                  O.Work = In.Work;
+                }
+              });
+}
+
+/// Adds the PS-DSWP (one task per stage) and Fused (head, fused middle,
+/// tail) variants derived from the stage list.
+void buildVariants(PipelineApp &App) {
+  assert(App.Stages.size() >= 3 && "pipeline needs head, middle, tail");
+  assert(App.Stages.front().Type == TaskType::Seq &&
+         App.Stages.back().Type == TaskType::Seq &&
+         "pipeline ends must be sequential");
+  {
+    RegionDesc D;
+    D.Name = App.Name + "-pipe";
+    D.S = Scheme::PsDswp;
+    for (unsigned I = 0; I < App.Stages.size(); ++I)
+      D.Tasks.push_back(makeStageTask(App.Stages[I], I,
+                                      I + 1 == App.Stages.size()));
+    for (unsigned I = 0; I + 1 < App.Stages.size(); ++I)
+      D.Links.push_back({I, I + 1});
+    App.Region.addVariant(std::move(D));
+  }
+  {
+    RegionDesc D;
+    D.Name = App.Name + "-fused";
+    D.S = Scheme::Fused;
+    unsigned Last = App.numStages() - 1;
+    D.Tasks.push_back(makeStageTask(App.Stages[0], 0, false));
+    D.Tasks.push_back(makeFusedTask(App.Stages, 1, Last - 1));
+    D.Tasks.push_back(makeStageTask(App.Stages[Last], Last, true));
+    D.Links.push_back({0, 1});
+    D.Links.push_back({1, 2});
+    App.Region.addVariant(std::move(D));
+  }
+}
+
+} // namespace
+
+PipelineApp parcae::rt::makeFerret() {
+  PipelineApp App("ferret");
+  App.Stages = {
+      {"load", TaskType::Seq, 8 * sim::MSec, 0, 0},
+      {"seg", TaskType::Par, 60 * sim::MSec, 0, 0},
+      {"extract", TaskType::Par, 80 * sim::MSec, 0, 0},
+      {"vec", TaskType::Par, 70 * sim::MSec, 0, 0},
+      {"rank", TaskType::Par, 150 * sim::MSec, 0, 0},
+      {"out", TaskType::Seq, 5 * sim::MSec, 0, 0},
+  };
+  buildVariants(App);
+  return App;
+}
+
+PipelineApp parcae::rt::makeDedup() {
+  PipelineApp App("dedup");
+  App.Stages = {
+      {"fragment", TaskType::Seq, 2 * sim::MSec, 0, 0},
+      {"refine", TaskType::Par, 25 * sim::MSec, 0, 0},
+      {"dedup", TaskType::Par, 18 * sim::MSec, 2 * sim::MSec, 7},
+      {"compress", TaskType::Par, 60 * sim::MSec, 0, 0},
+      {"write", TaskType::Seq, 2500 * sim::USec, 0, 0},
+  };
+  buildVariants(App);
+  return App;
+}
+
+RegionConfig parcae::rt::evenConfig(const PipelineApp &App, Scheme S,
+                                    unsigned Even) {
+  const RegionDesc &V = App.Region.variant(S);
+  RegionConfig C;
+  C.S = S;
+  for (const Task &T : V.Tasks)
+    C.DoP.push_back(T.isParallel() ? Even : 1);
+  return C;
+}

@@ -1,0 +1,70 @@
+//===- PipelineApps.h - Pipeline server applications ------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-level pipeline applications of Sections 6.3.2 and 8.2.2:
+///
+///  * ferret, the image search engine (Figure 6.2): a six-stage pipeline
+///    load(SEQ) -> seg(PAR) -> extract(PAR) -> vec(PAR) -> rank(PAR) ->
+///    out(SEQ), plus the collapsed variant with the four parallel stages
+///    fused into one (Figure 6.2(b)) that TBF's task fusion switches to.
+///  * dedup, the deduplication pipeline: fragment(SEQ) -> refine(PAR) ->
+///    dedup(PAR, hash-table critical section) -> compress(PAR) ->
+///    write(SEQ), with the fused middle variant as well.
+///
+/// Stage costs carry deterministic per-request jitter so stages are
+/// imbalanced the way the real benchmarks are; the imbalance is what the
+/// TBF / FDP / SEDA comparison of Table 8.5 is about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_APPS_PIPELINEAPPS_H
+#define PARCAE_APPS_PIPELINEAPPS_H
+
+#include "core/Region.h"
+#include "sim/Time.h"
+#include "workloads/LoadGen.h"
+
+#include <string>
+#include <vector>
+
+namespace parcae::rt {
+
+/// One pipeline stage's static description.
+struct StageParams {
+  std::string Name;
+  TaskType Type = TaskType::Par;
+  sim::SimTime MeanCost = 0;
+  /// Optional critical section (lock id, cycles) per iteration.
+  sim::SimTime CritCost = 0;
+  int CritLock = 0;
+};
+
+/// A pipeline application: stages plus derived region variants.
+struct PipelineApp {
+  std::string Name;
+  std::vector<StageParams> Stages;
+  FlexibleRegion Region;
+
+  explicit PipelineApp(std::string Name) : Name(Name), Region(Name) {}
+
+  unsigned numStages() const { return static_cast<unsigned>(Stages.size()); }
+};
+
+/// Builds ferret. The region exposes a PS-DSWP variant (one task per
+/// stage) and a Fused variant (load, fused-middle, out).
+PipelineApp makeFerret();
+
+/// Builds dedup, same structure.
+PipelineApp makeDedup();
+
+/// The DoP vector "one thread per sequential stage, Even per parallel
+/// stage" used as the Pthreads baseline in Table 8.5.
+RegionConfig evenConfig(const PipelineApp &App, Scheme S, unsigned Even);
+
+} // namespace parcae::rt
+
+#endif // PARCAE_APPS_PIPELINEAPPS_H

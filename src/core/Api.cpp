@@ -1,0 +1,116 @@
+//===- Api.cpp - The Chapter 5 application-developer API --------------------===//
+
+#include "core/Api.h"
+
+using namespace parcae::api;
+namespace rt = parcae::rt;
+namespace sim = parcae::sim;
+
+std::unique_ptr<Parcae> Parcae::create(sim::Machine &M,
+                                       const rt::RuntimeCosts &Costs) {
+  return std::unique_ptr<Parcae>(new Parcae(M, Costs));
+}
+
+Parcae::~Parcae() = default;
+
+rt::RegionController &Parcae::launch(const ParDescriptor &Pd,
+                                     rt::WorkSource &Work,
+                                     unsigned ThreadBudget) {
+  assert(!Region && "one launch per Parcae instance");
+  Region = std::make_unique<rt::FlexibleRegion>("api-region");
+
+  // Lower the descriptor to the pipeline region: tasks in array order,
+  // channels between adjacent tasks. The functor is wrapped so that
+  // task_complete from the head ends the work stream (Algorithm 2's
+  // loop-exit contract).
+  rt::RegionDesc D;
+  D.Name = "api-pipe";
+  D.S = Pd.Tasks.size() == 1 ? rt::Scheme::DoAny : rt::Scheme::PsDswp;
+  for (std::size_t I = 0; I < Pd.Tasks.size(); ++I) {
+    Task *T = Pd.Tasks[I];
+    LoweredTasks.push_back(T);
+    bool IsHead = I == 0;
+    rt::Task RT(
+        T->name(),
+        T->Desc.Type == TaskType::PAR ? rt::TaskType::Par
+                                      : rt::TaskType::Seq,
+        [T, IsHead](rt::IterationContext &Ctx) {
+          Instance Inst(Ctx);
+          TaskStatus S = T->Fn(Inst);
+          assert(S != task_paused &&
+                 "functors must not fabricate task_paused");
+          if (S == task_complete && IsHead)
+            Ctx.EndOfStream = true;
+        });
+    if (T->Load)
+      RT.LoadCB = T->Load;
+    // InitCB/FiniCB run host-side at lowering; their cost is the
+    // standard Tinit/fini cost of the runtime model.
+    if (T->Init)
+      T->Init();
+    D.Tasks.push_back(std::move(RT));
+    if (I > 0)
+      D.Links.push_back({static_cast<unsigned>(I - 1),
+                         static_cast<unsigned>(I)});
+  }
+  // The paper's single-task regions are DOANY-able (the outer transcode
+  // loop); multi-task arrays form a pipeline. A sequential fallback is
+  // always derivable by pinning every DoP to 1, which the controller's
+  // SEQ baseline uses.
+  {
+    rt::RegionDesc Seq;
+    Seq.Name = "api-seq";
+    Seq.S = rt::Scheme::Seq;
+    std::vector<Task *> Tasks = Pd.Tasks;
+    Seq.Tasks.emplace_back(
+        "seq-all", rt::TaskType::Seq, [Tasks](rt::IterationContext &Ctx) {
+          // Run every functor back to back on one thread.
+          for (Task *T : Tasks) {
+            Instance Inst(Ctx);
+            TaskStatus S = T->Fn(Inst);
+            if (S == task_complete)
+              Ctx.EndOfStream = true;
+          }
+        });
+    Region->addVariant(std::move(Seq));
+  }
+  // A single SEQ task exposes no parallel variant at all.
+  bool AnyParallel = false;
+  for (const rt::Task &RT : D.Tasks)
+    AnyParallel |= RT.isParallel();
+  if (AnyParallel)
+    Region->addVariant(std::move(D));
+
+  Runner = std::make_unique<rt::RegionRunner>(M, Costs, *Region, Work);
+  Controller = std::make_unique<rt::RegionController>(*Runner);
+  unsigned Budget = ThreadBudget ? ThreadBudget : M.numCores();
+  Controller->start(Budget);
+  // The paper's launch() blocks until the parallel region ends.
+  M.sim().run();
+  for (const Task *T : LoweredTasks)
+    if (T->Fini)
+      T->Fini();
+  return *Controller;
+}
+
+double Parcae::getExecTime(const Task *T) const {
+  assert(Runner && "launch() first");
+  const rt::RegionExec *E = Runner->exec();
+  if (!E)
+    return 0;
+  for (unsigned I = 0; I < LoweredTasks.size(); ++I)
+    if (LoweredTasks[I] == T && I < E->numTasks())
+      return rt::Decima::getExecTime(*E, I);
+  return 0;
+}
+
+double Parcae::getLoad(const Task *T) const {
+  assert(Runner && "launch() first");
+  const rt::RegionExec *E = Runner->exec();
+  if (!E)
+    return 0;
+  for (unsigned I = 0; I < LoweredTasks.size(); ++I)
+    if (LoweredTasks[I] == T && I < E->numTasks())
+      return rt::Decima::getLoad(*E, I);
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- Lock.h - Simulated mutual exclusion ----------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock for DOANY critical sections (Section 4.3.1) and unprivatized
+/// reductions. Poll-style like everything else in the simulator: a failed
+/// tryAcquire() blocks the thread on released() and re-tries on wakeup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_LOCK_H
+#define PARCAE_CORE_LOCK_H
+
+#include "sim/Machine.h"
+
+namespace parcae::rt {
+
+/// A simulated mutex.
+class SimLock {
+public:
+  bool tryAcquire() {
+    if (Held)
+      return false;
+    Held = true;
+    return true;
+  }
+
+  void release() {
+    assert(Held && "releasing an unheld lock");
+    Held = false;
+    Released.notifyAll();
+  }
+
+  bool held() const { return Held; }
+
+  /// Signalled on every release.
+  sim::Waitable &released() { return Released; }
+
+private:
+  bool Held = false;
+  sim::Waitable Released;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_LOCK_H

@@ -1,0 +1,17 @@
+//===- Region.cpp - Parallel regions and their configurations --------------===//
+
+#include "core/Region.h"
+
+using namespace parcae::rt;
+
+std::string RegionConfig::str() const {
+  std::string Out = schemeName(S);
+  Out += '<';
+  for (std::size_t I = 0; I < DoP.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(DoP[I]);
+  }
+  Out += '>';
+  return Out;
+}

@@ -1,0 +1,141 @@
+//===- Region.h - Parallel regions and their configurations -----*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RegionDesc is one parallelization of a loop: an ordered list of tasks
+/// plus the links between them (the ParDescriptor of Section 5.1.1, or the
+/// output of one Nona parallelizer). A FlexibleRegion groups the variants
+/// Nona exposes for one loop — SEQ, DOANY, PS-DSWP (Section 3.2) — among
+/// which Morta chooses at run time. A RegionConfig names a variant and a
+/// DoP vector: exactly the paper's parallelism configuration C = (S, D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_REGION_H
+#define PARCAE_CORE_REGION_H
+
+#include "core/Task.h"
+#include "core/Types.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace parcae::rt {
+
+/// A directed dependence between two tasks of a region, realized as a
+/// point-to-point channel set at run time.
+struct LinkDesc {
+  unsigned From = 0;
+  unsigned To = 0;
+};
+
+/// One parallelization scheme of a region.
+struct RegionDesc {
+  std::string Name;
+  Scheme S = Scheme::Seq;
+  /// Tasks in pipeline (topological) order; Tasks[0] is the head/master.
+  std::vector<Task> Tasks;
+  /// Links; for every link From < To must hold (stages form a pipeline).
+  std::vector<LinkDesc> Links;
+
+  unsigned numTasks() const { return static_cast<unsigned>(Tasks.size()); }
+
+  /// Verifies structural sanity (asserts on violation).
+  void verify() const {
+    assert(!Tasks.empty() && "region needs at least one task");
+    for (const LinkDesc &L : Links) {
+      assert(L.From < Tasks.size() && L.To < Tasks.size() &&
+             "link endpoint out of range");
+      assert(L.From < L.To && "links must go forward in the pipeline");
+    }
+    if (S == Scheme::Seq)
+      assert(Tasks.size() == 1 && Tasks[0].type() == TaskType::Seq &&
+             "SEQ scheme is a single sequential task");
+    // Pipeline well-formedness: every non-head stage consumes from
+    // upstream and every non-tail stage produces downstream; a functor
+    // writing Out[0] on an unlinked task would be out of bounds.
+    if (Tasks.size() > 1) {
+      std::vector<bool> HasIn(Tasks.size(), false), HasOut(Tasks.size(),
+                                                           false);
+      for (const LinkDesc &L : Links) {
+        HasOut[L.From] = true;
+        HasIn[L.To] = true;
+      }
+      for (std::size_t I = 0; I < Tasks.size(); ++I) {
+        assert((I == 0 || HasIn[I]) && "non-head stage without an in-link");
+        assert((I + 1 == Tasks.size() || HasOut[I]) &&
+               "non-tail stage without an out-link");
+      }
+    }
+  }
+};
+
+/// A parallelism configuration C = (S, D): a scheme and a DoP per task.
+struct RegionConfig {
+  Scheme S = Scheme::Seq;
+  std::vector<unsigned> DoP;
+
+  unsigned totalThreads() const {
+    unsigned N = 0;
+    for (unsigned D : DoP)
+      N += D;
+    return N;
+  }
+
+  bool operator==(const RegionConfig &O) const = default;
+
+  /// "PS-DSWP<1,8,1>" style rendering for logs and tables.
+  std::string str() const;
+};
+
+/// The variants of one loop among which Morta chooses.
+class FlexibleRegion {
+public:
+  explicit FlexibleRegion(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Registers the RegionDesc for a scheme (at most one per scheme).
+  void addVariant(RegionDesc Desc) {
+    Desc.verify();
+    assert(!hasVariant(Desc.S) && "variant already registered");
+    Variants.push_back(std::move(Desc));
+  }
+
+  bool hasVariant(Scheme S) const {
+    for (const RegionDesc &D : Variants)
+      if (D.S == S)
+        return true;
+    return false;
+  }
+
+  const RegionDesc &variant(Scheme S) const {
+    for (const RegionDesc &D : Variants)
+      if (D.S == S)
+        return D;
+    assert(false && "variant not registered");
+    return Variants.front();
+  }
+
+  const std::vector<RegionDesc> &variants() const { return Variants; }
+
+  /// A config with every task at DoP 1 for scheme \p S.
+  RegionConfig unitConfig(Scheme S) const {
+    RegionConfig C;
+    C.S = S;
+    C.DoP.assign(variant(S).numTasks(), 1);
+    return C;
+  }
+
+private:
+  std::string Name;
+  std::vector<RegionDesc> Variants;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_REGION_H

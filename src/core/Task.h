@@ -1,0 +1,112 @@
+//===- Task.h - The Parcae task abstraction ---------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Task type of the Parcae API (Section 5.1.1). A task separates
+/// control (the Morta worker loop drives instances) from functionality
+/// (the iteration functor). The functor is invoked once per dynamic
+/// instance with the instance's input tokens; it fills in the instance's
+/// compute cost, critical sections, and output tokens. Costs are virtual
+/// cycles consumed on the simulated machine; the functor itself models the
+/// *work*, exactly the split between control and functionality that
+/// Figure 5.2 of the paper shows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_TASK_H
+#define PARCAE_CORE_TASK_H
+
+#include "core/Types.h"
+#include "sim/Time.h"
+
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcae::rt {
+
+/// A mutual-exclusion region executed inside an instance (DOANY
+/// synchronization of commutative operations, Section 4.3.1).
+struct CriticalSection {
+  int LockId = 0;
+  sim::SimTime Cycles = 0;
+};
+
+/// Everything one dynamic task instance sees and produces.
+///
+/// The worker fills Seq/Slot/In before calling the functor; the functor
+/// fills Cost/Criticals and the payloads of Out (whose Seq fields are
+/// pre-set); the worker then charges the cost, runs the critical sections,
+/// and sends the outputs.
+struct IterationContext {
+  /// Region-global iteration index of this instance.
+  std::uint64_t Seq = 0;
+  /// Consumer thread slot executing the instance.
+  unsigned Slot = 0;
+  /// Input tokens, one per incoming link. For the head task, In[0] is the
+  /// work item pulled from the region's WorkSource (if any).
+  std::vector<Token> In;
+  /// Output tokens, one per outgoing link, Seq pre-filled.
+  std::vector<Token> Out;
+  /// Virtual time at which the functor runs (for response-time stamps).
+  sim::SimTime Now = 0;
+  /// Compute cycles this instance costs.
+  sim::SimTime Cost = 0;
+  /// Cores the compute occupies (an inner thread team of Gang cores, as
+  /// in the two-level loop nests of Chapter 2). 1 = a plain instance.
+  unsigned Gang = 1;
+  /// Critical sections to execute after the main compute.
+  std::vector<CriticalSection> Criticals;
+  /// Head-task functors set this when the loop's own exit condition turns
+  /// false (uncounted loops): this iteration is the last one.
+  bool EndOfStream = false;
+};
+
+/// The task's functionality: invoked once per instance.
+using IterFn = std::function<void(IterationContext &)>;
+
+/// A task: functionality plus the descriptor data of Figure 5.1.
+class Task {
+public:
+  Task(std::string Name, TaskType Type, IterFn Fn)
+      : Fn(std::move(Fn)), Name(std::move(Name)), Type(Type) {
+    assert(this->Fn && "task requires an iteration functor");
+  }
+
+  const std::string &name() const { return Name; }
+  TaskType type() const { return Type; }
+  bool isParallel() const { return Type == TaskType::Par; }
+
+  /// The iteration functor.
+  IterFn Fn;
+
+  /// Optional workload callback (Section 5.1.1, LoadCB). When absent, the
+  /// region reports the task's input-queue occupancy, which is what every
+  /// LoadCB in the paper's Figure 5.7 returns.
+  std::function<double()> LoadCB;
+
+  /// Extra cycles for this task's InitCB / FiniCB beyond the global Tinit
+  /// cost (most tasks need none; compare Figure 5.7's FiniCBs, which just
+  /// enqueue a sentinel).
+  sim::SimTime InitCost = 0;
+  sim::SimTime FiniCost = 0;
+
+  /// Present when the task carries a reduction (min/max/sum). Under
+  /// privatize-and-merge (Section 7.4) each slot accumulates locally and
+  /// pays a merge on pause; otherwise every iteration runs this critical
+  /// section.
+  std::optional<CriticalSection> Reduction;
+
+private:
+  std::string Name;
+  TaskType Type;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_TASK_H

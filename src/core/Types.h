@@ -1,0 +1,58 @@
+//===- Types.h - Parcae API core types --------------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core datatypes of the Parcae API (Figure 5.1 of the paper):
+/// TaskStatus, TaskType, and the Token that models one loop iteration's
+/// worth of data flowing over an inter-task communication channel
+/// ("we use the word token to denote a single iteration", Section 7.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_TYPES_H
+#define PARCAE_CORE_TYPES_H
+
+#include "sim/Time.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace parcae::rt {
+
+/// Status a task instance reports back to the Morta worker loop
+/// (Algorithm 2): keep iterating, paused for reconfiguration, or loop done.
+enum class TaskStatus { Iterating, Paused, Complete };
+
+/// SEQ tasks have an inherent degree of parallelism of 1; PAR tasks may be
+/// executed by a team of threads (Section 5.1.1).
+enum class TaskType { Seq, Par };
+
+/// Parallelization scheme of a region, as exposed by the Nona compiler or
+/// the application developer (Section 6.1). Fused is the collapsed
+/// pipeline of Figure 6.2(b), produced by TBF's task fusion.
+enum class Scheme { Seq, DoAny, PsDswp, Fused };
+
+const char *schemeName(Scheme S);
+
+/// One iteration's worth of data on a channel.
+struct Token {
+  /// Region-global iteration index that produced this token. Round-robin
+  /// channel routing and all ordering checks are in terms of this.
+  std::uint64_t Seq = 0;
+  /// Scalar payload (a communicated register value, a work-item id, ...).
+  std::int64_t Value = 0;
+  /// Work-size hint for downstream cost models.
+  sim::SimTime Work = 0;
+  /// Optional reference to a request record (for response-time tracking).
+  std::shared_ptr<void> Ref;
+};
+
+/// Sentinel meaning "no such iteration" from WidthSchedule queries.
+constexpr std::uint64_t NoSeq = ~std::uint64_t(0);
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_TYPES_H

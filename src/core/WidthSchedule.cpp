@@ -1,0 +1,65 @@
+//===- WidthSchedule.cpp - Epoch-based DoP history of a task ---------------===//
+
+#include "core/WidthSchedule.h"
+
+using namespace parcae::rt;
+
+const char *parcae::rt::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Seq:
+    return "SEQ";
+  case Scheme::DoAny:
+    return "DOANY";
+  case Scheme::PsDswp:
+    return "PS-DSWP";
+  case Scheme::Fused:
+    return "FUSED";
+  }
+  return "?";
+}
+
+void WidthSchedule::append(std::uint64_t Start, unsigned Width) {
+  assert(Width > 0 && "width must be positive");
+  assert(Start >= Epochs.back().Start &&
+         "epoch starts must be non-decreasing");
+  if (Epochs.back().Start == Start) {
+    // Replacing the width of an epoch that has not begun is allowed; this
+    // happens when two reconfigurations land on the same iteration.
+    Epochs.back().Width = Width;
+    return;
+  }
+  if (Epochs.back().Width == Width)
+    return; // no change
+  Epochs.push_back({Start, Width});
+}
+
+const WidthSchedule::Epoch &
+WidthSchedule::epochFor(std::uint64_t Seq) const {
+  // Epochs are few (one per reconfiguration); linear scan from the back is
+  // both simple and fast since queries cluster near the latest epoch.
+  for (std::size_t I = Epochs.size(); I-- > 0;)
+    if (Epochs[I].Start <= Seq)
+      return Epochs[I];
+  assert(false && "first epoch must start at 0");
+  return Epochs.front();
+}
+
+std::uint64_t WidthSchedule::firstSeqFor(unsigned Slot,
+                                         std::uint64_t From) const {
+  for (std::size_t I = 0; I < Epochs.size(); ++I) {
+    const Epoch &E = Epochs[I];
+    std::uint64_t End = I + 1 < Epochs.size() ? Epochs[I + 1].Start : NoSeq;
+    if (End != NoSeq && End <= From)
+      continue; // epoch entirely before From
+    if (Slot >= E.Width)
+      continue; // slot does not exist in this epoch
+    std::uint64_t Lo = From > E.Start ? From : E.Start;
+    // Smallest Seq >= Lo with Seq % Width == Slot.
+    std::uint64_t Rem = Lo % E.Width;
+    std::uint64_t Cand =
+        Rem <= Slot ? Lo + (Slot - Rem) : Lo + (E.Width - Rem) + Slot;
+    if (End == NoSeq || Cand < End)
+      return Cand;
+  }
+  return NoSeq;
+}

@@ -1,0 +1,84 @@
+//===- WidthSchedule.h - Epoch-based DoP history of a task ------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A task's degree-of-parallelism history as a list of epochs. MTCG routes
+/// the value of iteration i to channel (i mod p) where p is the consumer
+/// task's DoP (Section 4.5.3). When Morta changes p from m to n at master
+/// iteration I, correctness demands that iterations before I keep routing
+/// mod m and iterations from I on route mod n — this is exactly the
+/// iteration-count handoff of the optimized barrier protocol (Section
+/// 7.2.2, Figure 7.5). The WidthSchedule records those (start, width)
+/// epochs and answers the routing queries both producers (slotOf) and
+/// consumers (firstSeqFor / nextSeqFor) need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_WIDTHSCHEDULE_H
+#define PARCAE_CORE_WIDTHSCHEDULE_H
+
+#include "core/Types.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace parcae::rt {
+
+/// Piecewise-constant map from iteration index to task width (DoP).
+class WidthSchedule {
+public:
+  explicit WidthSchedule(unsigned InitialWidth = 1) {
+    assert(InitialWidth > 0 && "width must be positive");
+    Epochs.push_back({0, InitialWidth});
+  }
+
+  /// The width in effect for iteration \p Seq.
+  unsigned widthAt(std::uint64_t Seq) const {
+    return epochFor(Seq).Width;
+  }
+
+  /// The thread slot that owns iteration \p Seq: (Seq mod width).
+  unsigned slotOf(std::uint64_t Seq) const {
+    return static_cast<unsigned>(Seq % widthAt(Seq));
+  }
+
+  /// Appends an epoch: iterations >= \p Start execute with \p Width slots.
+  /// \p Start must be at least the last epoch's start.
+  void append(std::uint64_t Start, unsigned Width);
+
+  /// Smallest iteration >= \p From owned by \p Slot, or NoSeq if the slot
+  /// never runs again (e.g. the slot index exceeds all future widths).
+  std::uint64_t firstSeqFor(unsigned Slot, std::uint64_t From) const;
+
+  /// Smallest iteration > \p After owned by \p Slot.
+  std::uint64_t nextSeqFor(unsigned Slot, std::uint64_t After) const {
+    assert(After != NoSeq && "no iteration after NoSeq");
+    return firstSeqFor(Slot, After + 1);
+  }
+
+  /// Width of the most recent epoch.
+  unsigned currentWidth() const { return Epochs.back().Width; }
+
+  /// Start of the most recent epoch.
+  std::uint64_t currentEpochStart() const { return Epochs.back().Start; }
+
+  std::size_t numEpochs() const { return Epochs.size(); }
+
+private:
+  struct Epoch {
+    std::uint64_t Start;
+    unsigned Width;
+  };
+
+  const Epoch &epochFor(std::uint64_t Seq) const;
+
+  std::vector<Epoch> Epochs;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_WIDTHSCHEDULE_H

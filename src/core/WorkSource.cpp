@@ -1,0 +1,40 @@
+//===- WorkSource.cpp - Where a region's iterations come from --------------===//
+
+#include "core/WorkSource.h"
+
+using namespace parcae::rt;
+
+WorkSource::~WorkSource() = default;
+
+WorkSource::Pull QueueWorkSource::tryPull(Token &Out) {
+  if (!Items.empty()) {
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return Pull::Got;
+  }
+  return Closed ? Pull::End : Pull::Wait;
+}
+
+bool QueueWorkSource::push(Token Item) {
+  assert(!Closed && "pushing into a closed work queue");
+  if (Items.size() >= Capacity)
+    return false;
+  Items.push_back(std::move(Item));
+  ++Accepted;
+  Ready.notifyAll();
+  return true;
+}
+
+void QueueWorkSource::close() {
+  Closed = true;
+  Ready.notifyAll();
+}
+
+WorkSource::Pull CountedWorkSource::tryPull(Token &Out) {
+  if (Next >= N)
+    return Pull::End;
+  Out = Token{};
+  Out.Value = static_cast<std::int64_t>(Next);
+  ++Next;
+  return Pull::Got;
+}

@@ -1,0 +1,105 @@
+//===- WorkSource.h - Where a region's iterations come from -----*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The head task of a region pulls its work from a WorkSource: a bounded
+/// work queue fed by a load generator for the server applications
+/// (Chapter 2's video transcoding work queue), or a plain iteration count
+/// for batch loops. The source survives reconfigurations and scheme
+/// switches, so no work is lost when Morta pauses a region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_CORE_WORKSOURCE_H
+#define PARCAE_CORE_WORKSOURCE_H
+
+#include "core/Types.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <deque>
+
+namespace parcae::rt {
+
+/// Abstract source of work items for a region's head task.
+class WorkSource {
+public:
+  enum class Pull {
+    Got,  ///< an item was returned
+    Wait, ///< nothing available now; block on readyEvent()
+    End   ///< the source is exhausted; the region completes
+  };
+
+  virtual ~WorkSource();
+
+  /// Attempts to pull the next item.
+  virtual Pull tryPull(Token &Out) = 0;
+
+  /// Signalled when a Wait result may have turned into Got or End.
+  virtual sim::Waitable &readyEvent() = 0;
+
+  /// Instantaneous load (queue occupancy); what the head task's default
+  /// LoadCB reports to the mechanisms.
+  virtual double load() const = 0;
+};
+
+/// A bounded work queue: the server-application source. The load generator
+/// pushes items; closing the queue ends the region once drained.
+class QueueWorkSource : public WorkSource {
+public:
+  explicit QueueWorkSource(std::size_t Capacity = 1u << 20)
+      : Capacity(Capacity) {}
+
+  Pull tryPull(Token &Out) override;
+  sim::Waitable &readyEvent() override { return Ready; }
+  double load() const override { return static_cast<double>(Items.size()); }
+
+  /// Enqueues a work item. Returns false when the queue is full (the item
+  /// is dropped; the caller may count it as a rejected request).
+  bool push(Token Item);
+
+  /// No more items will arrive; the region ends when the queue drains.
+  void close();
+
+  std::size_t size() const { return Items.size(); }
+  bool closed() const { return Closed; }
+  /// Total items ever accepted.
+  std::uint64_t accepted() const { return Accepted; }
+
+private:
+  std::size_t Capacity;
+  std::deque<Token> Items;
+  bool Closed = false;
+  std::uint64_t Accepted = 0;
+  sim::Waitable Ready;
+};
+
+/// A fixed number of iterations: the batch-loop source used by
+/// Nona-compiled programs. Pulls are free; ends after N items.
+class CountedWorkSource : public WorkSource {
+public:
+  explicit CountedWorkSource(std::uint64_t N) : N(N) {}
+
+  Pull tryPull(Token &Out) override;
+  sim::Waitable &readyEvent() override { return Ready; }
+  double load() const override {
+    return static_cast<double>(N - Next);
+  }
+
+  std::uint64_t remaining() const { return N - Next; }
+
+  /// Extends the iteration count (used by open-ended controller runs).
+  void extend(std::uint64_t More) { N += More; }
+
+private:
+  std::uint64_t N;
+  std::uint64_t Next = 0;
+  sim::Waitable Ready;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_CORE_WORKSOURCE_H

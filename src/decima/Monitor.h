@@ -1,0 +1,144 @@
+//===- Monitor.h - The Decima monitor ---------------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decima measures resource availability and system performance to detect
+/// change in the environment (Chapter 6). Two halves:
+///
+///  * Application features: per-task execution time and workload, fed by
+///    the begin/end hooks Nona inserts (Section 4.7) — in this
+///    reproduction, the TaskStats counters RegionExec accumulates.
+///  * Platform features: a registry of named callbacks ("SystemPower",
+///    "Temperature", ...) that mechanism developers register
+///    (Figure 5.8's registerCB/getValue API).
+///
+/// ThroughputWindow/TaskWindow turn the monotone counters into windowed
+/// rates, tolerating the counter resets that scheme switches cause.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_DECIMA_MONITOR_H
+#define PARCAE_DECIMA_MONITOR_H
+
+#include "morta/RegionExec.h"
+#include "sim/Time.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace parcae::rt {
+
+/// Platform-feature registry (the mechanism developer API of Figure 5.8).
+class Decima {
+public:
+  /// Registers a platform feature; replaces any previous callback.
+  void registerFeature(const std::string &Feature,
+                       std::function<double()> GetValue) {
+    assert(GetValue && "feature callback required");
+    Features[Feature] = std::move(GetValue);
+  }
+
+  bool hasFeature(const std::string &Feature) const {
+    return Features.count(Feature) != 0;
+  }
+
+  /// Reads the current value of a registered feature.
+  double getValue(const std::string &Feature) const {
+    auto It = Features.find(Feature);
+    assert(It != Features.end() && "unregistered platform feature");
+    return It->second();
+  }
+
+  /// Average execution (compute) time per iteration of a task, in cycles —
+  /// the paper's Parcae::getExecTime.
+  static double getExecTime(const RegionExec &R, unsigned TaskIdx) {
+    const TaskStats &S = R.stats(TaskIdx);
+    if (S.Iterations == 0)
+      return 0.0;
+    return static_cast<double>(S.ComputeTime) /
+           static_cast<double>(S.Iterations);
+  }
+
+  /// Current workload on a task — the paper's Parcae::getLoad.
+  static double getLoad(const RegionExec &R, unsigned TaskIdx) {
+    return R.loadOf(TaskIdx);
+  }
+
+private:
+  std::map<std::string, std::function<double()>> Features;
+};
+
+/// Windowed rate from a monotone counter: iterations per second between
+/// mark() and sample(). Handles counter resets (value decreases) by
+/// restarting the window.
+class ThroughputWindow {
+public:
+  void mark(std::uint64_t Count, sim::SimTime Now) {
+    StartCount = Count;
+    StartTime = Now;
+  }
+
+  /// Iterations elapsed since the mark (0 after a counter reset).
+  std::uint64_t progress(std::uint64_t Count) const {
+    return Count >= StartCount ? Count - StartCount : 0;
+  }
+
+  /// Iterations per second since the mark.
+  double rate(std::uint64_t Count, sim::SimTime Now) const {
+    if (Now <= StartTime || Count <= StartCount)
+      return 0.0;
+    return static_cast<double>(Count - StartCount) /
+           sim::toSeconds(Now - StartTime);
+  }
+
+  sim::SimTime startTime() const { return StartTime; }
+
+private:
+  std::uint64_t StartCount = 0;
+  sim::SimTime StartTime = 0;
+};
+
+/// Per-task throughput sampling used by mechanisms that rank tasks
+/// (TBF, FDP, and the controller's Algorithm 4 ordering).
+class TaskWindow {
+public:
+  /// Re-anchors the window at the task's current counters.
+  void mark(const RegionExec &R, unsigned TaskIdx, sim::SimTime Now) {
+    Iters = R.stats(TaskIdx).Iterations;
+    Compute = R.stats(TaskIdx).ComputeTime;
+    Time = Now;
+  }
+
+  /// Task iterations per second since the mark, or 0 if none.
+  double throughput(const RegionExec &R, unsigned TaskIdx,
+                    sim::SimTime Now) const {
+    const TaskStats &S = R.stats(TaskIdx);
+    if (S.Iterations <= Iters || Now <= Time)
+      return 0.0;
+    return static_cast<double>(S.Iterations - Iters) /
+           sim::toSeconds(Now - Time);
+  }
+
+  /// Average compute cycles per iteration since the mark.
+  double execTime(const RegionExec &R, unsigned TaskIdx) const {
+    const TaskStats &S = R.stats(TaskIdx);
+    if (S.Iterations <= Iters || S.ComputeTime < Compute)
+      return 0.0;
+    return static_cast<double>(S.ComputeTime - Compute) /
+           static_cast<double>(S.Iterations - Iters);
+  }
+
+private:
+  std::uint64_t Iters = 0;
+  sim::SimTime Compute = 0;
+  sim::SimTime Time = 0;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_DECIMA_MONITOR_H

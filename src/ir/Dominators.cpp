@@ -1,0 +1,117 @@
+//===- Dominators.cpp - Dominance and control dependence --------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace parcae::ir;
+
+PostDominators::PostDominators(const Function &F, const BasicBlock *ExitBlock)
+    : F(F), Exit(ExitBlock) {
+  assert(ExitBlock && "post-dominance needs the exit block");
+
+  // Postorder of the *reverse* CFG from the exit (i.e. following Preds).
+  std::set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> PostOrder;
+  // Iterative DFS.
+  std::vector<std::pair<const BasicBlock *, std::size_t>> Stack;
+  Stack.push_back({ExitBlock, 0});
+  Visited.insert(ExitBlock);
+  while (!Stack.empty()) {
+    auto &[B, NextPred] = Stack.back();
+    if (NextPred < B->Preds.size()) {
+      const BasicBlock *P = B->Preds[NextPred++];
+      if (Visited.insert(P).second)
+        Stack.push_back({P, 0});
+      continue;
+    }
+    PostOrder.push_back(B);
+    Stack.pop_back();
+  }
+  RevPostOrder.assign(PostOrder.rbegin(), PostOrder.rend());
+  assert(RevPostOrder.front() == ExitBlock);
+
+  // Cooper-Harvey-Kennedy on the reverse CFG.
+  std::map<const BasicBlock *, unsigned> RpoIndex;
+  for (unsigned I = 0; I < RevPostOrder.size(); ++I)
+    RpoIndex[RevPostOrder[I]] = I;
+
+  auto Intersect = [&](const BasicBlock *A,
+                       const BasicBlock *B) -> const BasicBlock * {
+    while (A != B) {
+      while (RpoIndex.at(A) > RpoIndex.at(B))
+        A = IPDom.at(A);
+      while (RpoIndex.at(B) > RpoIndex.at(A))
+        B = IPDom.at(B);
+    }
+    return A;
+  };
+
+  IPDom[ExitBlock] = ExitBlock;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *B : RevPostOrder) {
+      if (B == ExitBlock)
+        continue;
+      // "Predecessors" in the reverse CFG are the successors in the CFG.
+      const BasicBlock *NewIPDom = nullptr;
+      for (const BasicBlock *S : B->Succs) {
+        if (!IPDom.count(S))
+          continue;
+        NewIPDom = NewIPDom ? Intersect(NewIPDom, S) : S;
+      }
+      if (!NewIPDom)
+        continue;
+      auto It = IPDom.find(B);
+      if (It == IPDom.end() || It->second != NewIPDom) {
+        IPDom[B] = NewIPDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+const BasicBlock *PostDominators::ipdom(const BasicBlock *B) const {
+  if (B == Exit)
+    return nullptr;
+  auto It = IPDom.find(B);
+  return It == IPDom.end() ? nullptr : It->second;
+}
+
+bool PostDominators::postDominates(const BasicBlock *A,
+                                   const BasicBlock *B) const {
+  // Walk B's post-dominator chain towards the exit.
+  const BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    if (Cur == Exit)
+      return false;
+    auto It = IPDom.find(Cur);
+    if (It == IPDom.end())
+      return false;
+    Cur = It->second;
+  }
+  return false;
+}
+
+std::vector<const BasicBlock *>
+PostDominators::controlDependents(const BasicBlock *A) const {
+  std::vector<const BasicBlock *> Out;
+  if (A->Succs.size() < 2)
+    return Out; // only conditional branches create control dependence
+  std::set<const BasicBlock *> Seen;
+  const BasicBlock *Stop = ipdom(A);
+  for (const BasicBlock *B : A->Succs) {
+    const BasicBlock *Cur = B;
+    while (Cur && Cur != Stop) {
+      if (Seen.insert(Cur).second)
+        Out.push_back(Cur);
+      Cur = ipdom(Cur);
+    }
+  }
+  return Out;
+}

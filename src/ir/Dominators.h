@@ -1,0 +1,54 @@
+//===- Dominators.h - Dominance and control dependence ----------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-dominator computation and control-dependence derivation for the
+/// PDG builder (Section 4.1: "control dependencies are computed
+/// efficiently based on the post-dominance relation"). The algorithm is
+/// Cooper-Harvey-Kennedy iterative dominance on the reverse CFG, followed
+/// by the classical Ferrante-Ottenstein-Warren control-dependence rule:
+/// for an edge (A, B) where B does not post-dominate A, every node on the
+/// post-dominator-tree path from B up to (but excluding) ipdom(A) is
+/// control-dependent on A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_IR_DOMINATORS_H
+#define PARCAE_IR_DOMINATORS_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace parcae::ir {
+
+/// Post-dominator tree over a function's CFG.
+class PostDominators {
+public:
+  /// \p ExitBlock is the unique sink the analysis roots at.
+  PostDominators(const Function &F, const BasicBlock *ExitBlock);
+
+  /// Immediate post-dominator (null for the exit block).
+  const BasicBlock *ipdom(const BasicBlock *B) const;
+
+  /// Whether \p A post-dominates \p B.
+  bool postDominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Blocks control-dependent on \p A's terminator (conditional branch).
+  std::vector<const BasicBlock *>
+  controlDependents(const BasicBlock *A) const;
+
+private:
+  const Function &F;
+  const BasicBlock *Exit;
+  std::map<const BasicBlock *, const BasicBlock *> IPDom;
+  std::vector<const BasicBlock *> RevPostOrder; // of the reverse CFG
+};
+
+} // namespace parcae::ir
+
+#endif // PARCAE_IR_DOMINATORS_H

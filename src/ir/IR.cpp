@@ -1,0 +1,167 @@
+//===- IR.cpp - Nona's intermediate representation --------------------------===//
+
+#include "ir/IR.h"
+
+#include <cstdio>
+
+using namespace parcae::ir;
+
+const char *parcae::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+bool parcae::ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool parcae::ir::definesValue(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false;
+  default:
+    return true;
+  }
+}
+
+BasicBlock *Function::makeBlock(std::string BlockName) {
+  auto B = std::make_unique<BasicBlock>();
+  B->Id = static_cast<unsigned>(Blocks.size());
+  B->Name = std::move(BlockName);
+  BasicBlock *Raw = B.get();
+  Blocks.push_back(std::move(B));
+  return Raw;
+}
+
+Instruction *Function::emit(BasicBlock *B, Opcode Op,
+                            std::vector<ValueId> Uses,
+                            std::string InstName) {
+  assert(B && "emit() needs a block");
+  auto I = std::make_unique<Instruction>();
+  I->Id = NextInst++;
+  I->Op = Op;
+  I->Uses = std::move(Uses);
+  I->Parent = B;
+  I->Name = std::move(InstName);
+  if (definesValue(Op))
+    I->Def = NextValue++;
+  Instruction *Raw = I.get();
+  B->Insts.push_back(std::move(I));
+  return Raw;
+}
+
+Instruction *Function::instById(unsigned Id) const {
+  for (const auto &B : Blocks)
+    for (const auto &I : B->Insts)
+      if (I->Id == Id)
+        return I.get();
+  assert(false && "no instruction with this id");
+  return nullptr;
+}
+
+void Function::verify() const {
+  // SSA: every value defined exactly once; uses reference defined values.
+  std::vector<int> DefCount(static_cast<std::size_t>(NextValue), 0);
+  for (const auto &B : Blocks) {
+    assert(!B->Insts.empty() && "empty basic block");
+    assert(B->Insts.back()->isBranch() && "block must end in a terminator");
+    for (std::size_t K = 0; K + 1 < B->Insts.size(); ++K)
+      assert(!B->Insts[K]->isBranch() && "terminator not at block end");
+    for (const auto &I : B->Insts) {
+      if (I->Def != NoValue)
+        ++DefCount[static_cast<std::size_t>(I->Def)];
+      for (ValueId U : I->Uses) {
+        assert(U >= 0 && U < NextValue && "use of unknown value");
+        (void)U;
+      }
+      if (I->Op == Opcode::CondBr)
+        assert(I->Parent->Succs.size() == 2 && "condbr needs two succs");
+      if (I->Op == Opcode::Br)
+        assert(I->Parent->Succs.size() == 1 && "br needs one succ");
+      if (I->Op == Opcode::Ret)
+        assert(I->Parent->Succs.empty() && "ret must end the function");
+      if (I->isPhi()) {
+        assert(I->Parent == TheLoop.Header && "phis only in loop header");
+        assert(I->Uses.size() == 2 && "header phi has {init, carried}");
+      }
+    }
+  }
+  for (int C : DefCount) {
+    assert(C == 1 && "SSA value must have exactly one definition");
+    (void)C;
+  }
+
+  // Loop shape (Section 4.5.1).
+  const Loop &L = TheLoop;
+  assert(L.Header && L.Tail && L.Exit && "loop endpoints unset");
+  assert(L.contains(L.Header) && L.contains(L.Tail) && "loop block lists");
+  assert(!L.contains(L.Exit) && "exit must be outside the loop");
+  // Single backedge tail -> header.
+  unsigned Backedges = 0;
+  for (const BasicBlock *P : L.Header->Preds)
+    if (L.contains(P)) {
+      assert(P == L.Tail && "backedge must come from the tail");
+      ++Backedges;
+    }
+  assert(Backedges == 1 && "exactly one backedge");
+  (void)Backedges;
+}
+
+std::string Function::print() const {
+  std::string Out = "function " + Name + "\n";
+  for (const auto &B : Blocks) {
+    Out += B->Name + ":\n";
+    for (const auto &I : B->Insts) {
+      char Buf[160];
+      std::string UseStr;
+      for (ValueId U : I->Uses)
+        UseStr += " v" + std::to_string(U);
+      std::snprintf(Buf, sizeof(Buf), "  %%%u %s%s %s%s%s%s\n", I->Id,
+                    I->Def != NoValue
+                        ? ("v" + std::to_string(I->Def) + " =").c_str()
+                        : "",
+                    opcodeName(I->Op), UseStr.c_str(),
+                    I->MemObject >= 0
+                        ? (" @m" + std::to_string(I->MemObject)).c_str()
+                        : "",
+                    I->Commutative ? " commutative" : "",
+                    I->Name.empty() ? "" : (" ; " + I->Name).c_str());
+      Out += Buf;
+    }
+  }
+  return Out;
+}

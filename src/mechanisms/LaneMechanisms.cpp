@@ -1,0 +1,73 @@
+//===- LaneMechanisms.cpp - Mechanisms for two-level apps ------------------===//
+
+#include "mechanisms/LaneMechanisms.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace parcae::rt;
+namespace sim = parcae::sim;
+
+LaneMechanism::~LaneMechanism() = default;
+
+std::optional<LaneConfig> WqtH::onDispatch(double QueueLen) {
+  // In SEQ (throughput) mode, count consecutive dispatches with occupancy
+  // under the threshold; in PAR (latency) mode, count those over it.
+  bool UnderT = QueueLen < Threshold;
+  bool Vote = InPar ? !UnderT : UnderT;
+  Consecutive = Vote ? Consecutive + 1 : 0;
+  if (!InPar && Consecutive > Noff) {
+    InPar = true;
+    Consecutive = 0;
+    return ParMode;
+  }
+  if (InPar && Consecutive > Non) {
+    InPar = false;
+    Consecutive = 0;
+    return SeqMode;
+  }
+  return {};
+}
+
+LaneConfig WqLinear::configFor(double QueueLen) const {
+  double K = static_cast<double>(DPmax - DPmin) / Qmax;
+  double DP = std::max(static_cast<double>(DPmin),
+                       static_cast<double>(DPmax) - K * QueueLen);
+  unsigned L = static_cast<unsigned>(DP + 0.5);
+  L = std::clamp(L, 1u, DPmax);
+  LaneConfig C;
+  if (L <= 1) {
+    C.K = N;
+    C.InnerParallel = false;
+    C.L = 1;
+  } else {
+    C.InnerParallel = true;
+    C.L = L;
+    C.K = std::max(1u, N / L);
+  }
+  return C;
+}
+
+std::optional<LaneConfig> WqLinear::onDispatch(double QueueLen) {
+  LaneConfig C = configFor(QueueLen);
+  if (Seeded && C.K == Last.K && C.L == Last.L &&
+      C.InnerParallel == Last.InnerParallel)
+    return {};
+  Seeded = true;
+  Last = C;
+  return C;
+}
+
+LaneMechanismDriver::LaneMechanismDriver(LaneServerApp &App,
+                                         LaneMechanism &Mech)
+    : App(App), Mech(Mech) {}
+
+void LaneMechanismDriver::start() {
+  App.OnDispatch = [this](double QueueLen) {
+    if (auto C = Mech.onDispatch(QueueLen)) {
+      App.reconfigure(*C);
+      ++Reconfigs;
+    }
+  };
+  App.start(Mech.initialConfig());
+}

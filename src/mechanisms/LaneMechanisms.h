@@ -1,0 +1,121 @@
+//===- LaneMechanisms.h - Mechanisms for two-level apps ---------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Minimize Response Time with N threads" mechanisms of Section
+/// 6.3.1, targeting the two-level lane applications:
+///
+///  * Static  — a fixed <(K,DOALL),(L,...)> configuration.
+///  * WQT-H   — Work Queue Threshold with Hysteresis: a two-state machine
+///              toggling between a throughput-mode config (outer-only)
+///              and a latency-mode config (inner DoP = dPmax) based on
+///              work-queue occupancy, with Non/Noff hysteresis counted in
+///              consecutive dispatched tasks.
+///  * WQ-Linear — varies the inner DoP continuously:
+///              dP = max(dPmin, dPmax - k*WQo), k = (dPmax-dPmin)/Qmax,
+///              and gives the outer loop the remaining threads.
+///
+/// Each mechanism is invoked on every request dispatch with the current
+/// queue occupancy, matching how the paper's mechanisms observe "N
+/// consecutive tasks".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MECHANISMS_LANEMECHANISMS_H
+#define PARCAE_MECHANISMS_LANEMECHANISMS_H
+
+#include "apps/LaneApps.h"
+
+#include <optional>
+
+namespace parcae::rt {
+
+/// Decides lane configurations from work-queue observations.
+class LaneMechanism {
+public:
+  virtual ~LaneMechanism();
+  virtual const char *name() const = 0;
+  /// Called at each request dispatch; returns a config change, if any.
+  virtual std::optional<LaneConfig> onDispatch(double QueueLen) = 0;
+  /// The configuration to start with.
+  virtual LaneConfig initialConfig() const = 0;
+};
+
+/// Fixed configuration (the paper's static baselines).
+class StaticLane : public LaneMechanism {
+public:
+  explicit StaticLane(LaneConfig C) : C(C) {}
+  const char *name() const override { return "Static"; }
+  std::optional<LaneConfig> onDispatch(double) override { return {}; }
+  LaneConfig initialConfig() const override { return C; }
+
+private:
+  LaneConfig C;
+};
+
+/// Work Queue Threshold with Hysteresis (28 LoC in the paper).
+class WqtH : public LaneMechanism {
+public:
+  /// \p Threshold is T; \p Non / \p Noff the hysteresis lengths;
+  /// \p SeqMode / \p ParMode the two configurations toggled between.
+  WqtH(double Threshold, unsigned Non, unsigned Noff, LaneConfig SeqMode,
+       LaneConfig ParMode)
+      : Threshold(Threshold), Non(Non), Noff(Noff), SeqMode(SeqMode),
+        ParMode(ParMode) {}
+
+  const char *name() const override { return "WQT-H"; }
+  std::optional<LaneConfig> onDispatch(double QueueLen) override;
+  LaneConfig initialConfig() const override { return SeqMode; }
+
+private:
+  double Threshold;
+  unsigned Non, Noff;
+  LaneConfig SeqMode, ParMode;
+  bool InPar = false;
+  unsigned Consecutive = 0;
+};
+
+/// Work Queue Linear (9 LoC in the paper).
+class WqLinear : public LaneMechanism {
+public:
+  /// \p N total threads; \p DPmax / \p DPmin the inner DoP range; \p Qmax
+  /// the queue occupancy at which the DoP bottoms out (derived from the
+  /// acceptable response-time degradation).
+  WqLinear(unsigned N, unsigned DPmax, unsigned DPmin, double Qmax)
+      : N(N), DPmax(DPmax), DPmin(DPmin), Qmax(Qmax) {
+    assert(DPmax >= DPmin && DPmin >= 1 && Qmax > 0);
+  }
+
+  const char *name() const override { return "WQ-Linear"; }
+  std::optional<LaneConfig> onDispatch(double QueueLen) override;
+  LaneConfig initialConfig() const override { return configFor(0.0); }
+
+private:
+  LaneConfig configFor(double QueueLen) const;
+
+  unsigned N, DPmax, DPmin;
+  double Qmax;
+  LaneConfig Last;
+  bool Seeded = false;
+};
+
+/// Drives a LaneServerApp with a mechanism: subscribes to dispatch events
+/// and applies configuration changes.
+class LaneMechanismDriver {
+public:
+  LaneMechanismDriver(LaneServerApp &App, LaneMechanism &Mech);
+  void start();
+  unsigned reconfigurations() const { return Reconfigs; }
+
+private:
+  LaneServerApp &App;
+  LaneMechanism &Mech;
+  unsigned Reconfigs = 0;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MECHANISMS_LANEMECHANISMS_H

@@ -1,0 +1,503 @@
+//===- Controller.cpp - Morta's closed-loop run-time controller ------------===//
+
+#include "morta/Controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace parcae::rt;
+
+const char *parcae::rt::ctrlStateName(CtrlState S) {
+  switch (S) {
+  case CtrlState::Init:
+    return "INIT";
+  case CtrlState::Calibrate:
+    return "CALIBRATE";
+  case CtrlState::Optimize:
+    return "OPTIMIZE";
+  case CtrlState::Monitor:
+    return "MONITOR";
+  case CtrlState::Done:
+    return "DONE";
+  }
+  return "?";
+}
+
+RegionController::RegionController(RegionRunner &Runner, ControllerParams P)
+    : Runner(Runner), P(P), Sim(Runner.machine().sim()) {}
+
+void RegionController::start(unsigned ThreadBudget) {
+  assert(!Started && "controller already started");
+  assert(ThreadBudget >= 1 && "need at least one thread");
+  Started = true;
+  Budget = ThreadBudget;
+  enterInit();
+  scheduleTick();
+}
+
+unsigned RegionController::threadsUsed() const {
+  return Runner.config().totalThreads();
+}
+
+void RegionController::scheduleTick() {
+  if (TickScheduled || St == CtrlState::Done)
+    return;
+  TickScheduled = true;
+  Sim.schedule(P.TickPeriod, [this] {
+    TickScheduled = false;
+    tick();
+  });
+}
+
+void RegionController::recordTrace(double Thr) {
+  Trace.push_back({Sim.now(), St, Runner.config(), Thr});
+}
+
+void RegionController::applyConfig(RegionConfig C) {
+  Runner.reconfigure(std::move(C));
+}
+
+void RegionController::beginMeasure(std::uint64_t Iters) {
+  WindowIters = Iters;
+  Measuring = true;
+  MarkPending = true;
+}
+
+std::uint64_t RegionController::measureWindowIters() const {
+  // Parallel workers retire in waves of ~D iterations; measuring a
+  // non-integral number of waves distorts the rate by up to one wave per
+  // window. Use several waves and round up to a whole number of them.
+  std::uint64_t D = Runner.config().totalThreads();
+  std::uint64_t W = std::max<std::uint64_t>(P.Nseq, 8 * D);
+  return (W + D - 1) / D * D;
+}
+
+bool RegionController::measureReady() const {
+  if (!Measuring || MarkPending)
+    return false;
+  if (Window.progress(Runner.totalRetired()) < WindowIters)
+    return false;
+  // In MONITOR, additionally require a minimum wall-clock window so that
+  // passive sampling is not dominated by burst noise.
+  if (St == CtrlState::Monitor &&
+      Sim.now() < Window.startTime() + P.MonitorWindow)
+    return false;
+  return true;
+}
+
+double RegionController::measuredRate() const {
+  return Window.rate(Runner.totalRetired(), Sim.now());
+}
+
+void RegionController::tick() {
+  if (Runner.completed()) {
+    St = CtrlState::Done;
+    return;
+  }
+  if (!Runner.transitioning()) {
+    if (MarkPending) {
+      // Let the reconfigured region reach steady state (freshly spawned
+      // workers pay thread-spawn and Tinit costs) before measuring.
+      if (WarmupAnchor == NoSeq)
+        WarmupAnchor = Runner.totalRetired();
+      std::uint64_t Warmup = std::max<std::uint64_t>(
+          8, 2 * Runner.config().totalThreads());
+      if (Runner.totalRetired() < WarmupAnchor + Warmup) {
+        scheduleTick();
+        return;
+      }
+      WarmupAnchor = NoSeq;
+      // The window size was chosen when the measurement was requested,
+      // possibly before an asynchronous scheme switch applied; re-derive
+      // it from the configuration actually running now.
+      WindowIters = std::max(WindowIters, measureWindowIters());
+      Window.mark(Runner.totalRetired(), Sim.now());
+      TaskWindows.assign(Runner.config().DoP.size(), TaskWindow());
+      if (const RegionExec *E = Runner.exec())
+        for (unsigned T = 0; T < E->numTasks(); ++T)
+          TaskWindows[T].mark(*E, T, Sim.now());
+      MarkPending = false;
+    }
+    if (measureReady()) {
+      Measuring = false;
+      double Thr = measuredRate();
+#ifdef PARCAE_CTRL_DEBUG
+      std::fprintf(stderr, "[ctrl] t=%.3fms win: start=%llu now=%llu prog=%llu thr=%.0f cfg=%s st=%s\n",
+                   sim::toSeconds(Sim.now())*1e3,
+                   (unsigned long long)Window.startTime(),
+                   (unsigned long long)Sim.now(),
+                   (unsigned long long)Window.progress(Runner.totalRetired()),
+                   Thr, Runner.config().str().c_str(), ctrlStateName(St));
+#endif
+      switch (St) {
+      case CtrlState::Init: {
+        Tseq = Thr;
+        Best = {Runner.config(), Tseq};
+        recordTrace(Thr);
+        // Explore every parallel scheme the region exposes.
+        SchemesToTry.clear();
+        for (const RegionDesc &V : Runner.region().variants())
+          if (V.S != Scheme::Seq)
+            SchemesToTry.push_back(V.S);
+        SchemeIdx = 0;
+        if (SchemesToTry.empty()) {
+          enterMonitor();
+          break;
+        }
+        enterCalibrate(defaultConfigFor(SchemesToTry[0]));
+        break;
+      }
+      case CtrlState::Calibrate:
+        recordTrace(Thr);
+        enterOptimize(Thr);
+        break;
+      case CtrlState::Optimize:
+        stepOptimize(Thr);
+        break;
+      case CtrlState::Monitor: {
+        recordTrace(Thr);
+        if (MonitorBaseThr <= 0) {
+          MonitorBaseThr = Thr;
+        } else {
+          double Rel = std::abs(Thr - MonitorBaseThr) / MonitorBaseThr;
+          if (Rel > P.MonitorThreshold) {
+            // Workload changed (T4->2): re-calibrate the current scheme,
+            // resetting the DoP if throughput dropped.
+            Scheme S = Runner.config().S;
+            SchemesToTry = {S};
+            SchemeIdx = 0;
+            RegionConfig C = Thr < MonitorBaseThr && S != Scheme::Seq
+                                 ? defaultConfigFor(S)
+                                 : Runner.config();
+            if (S == Scheme::Seq && !Runner.region().variants().empty()) {
+              // A sequential region that slowed down may now benefit from
+              // parallelism again: re-run the full exploration.
+              SchemesToTry.clear();
+              for (const RegionDesc &V : Runner.region().variants())
+                if (V.S != Scheme::Seq)
+                  SchemesToTry.push_back(V.S);
+              if (!SchemesToTry.empty())
+                C = defaultConfigFor(SchemesToTry[0]);
+            }
+            if (SchemesToTry.empty()) {
+              beginMeasure(measureWindowIters() * 4);
+            } else {
+              Best = {Runner.region().unitConfig(Scheme::Seq), Tseq};
+              enterCalibrate(std::move(C));
+            }
+            break;
+          }
+        }
+        beginMeasure(measureWindowIters() * 4);
+        break;
+      }
+      case CtrlState::Done:
+        return;
+      }
+    }
+  }
+  scheduleTick();
+}
+
+void RegionController::enterInit() {
+  St = CtrlState::Init;
+  RegionConfig SeqC = Runner.region().unitConfig(Scheme::Seq);
+  Runner.start(SeqC);
+  recordTrace(0);
+  beginMeasure(P.Nseq);
+}
+
+void RegionController::enterCalibrate(RegionConfig C) {
+  St = CtrlState::Calibrate;
+  if (SchemeIdx == 0)
+    BudgetLimited = false;
+  applyConfig(std::move(C));
+  recordTrace(0);
+  beginMeasure(measureWindowIters());
+}
+
+void RegionController::enterOptimize(double BaseThr) {
+  St = CtrlState::Optimize;
+  const RegionDesc &V = Runner.region().variant(Runner.config().S);
+  Opt = OptState();
+  Opt.Opt.assign(V.numTasks(), false);
+  for (unsigned T = 0; T < V.numTasks(); ++T)
+    if (!V.Tasks[T].isParallel())
+      Opt.Opt[T] = true; // sequential tasks are pinned at DoP 1
+  Opt.Order = parallelTasksByAscendingThroughput();
+  Opt.OrderIdx = 0;
+  Opt.PrevThr = BaseThr;
+  recordTrace(BaseThr);
+  if (Opt.Order.empty()) {
+    finishSchemeSearch(BaseThr);
+    return;
+  }
+  Opt.TaskIdx = Opt.Order[0];
+  Opt.PrevDoP = Runner.config().DoP[Opt.TaskIdx];
+  Opt.Dir = +1;
+  Opt.TriedDown = false;
+  // First probe: one step up if the budget allows, else one step down.
+  unsigned Bar = dopUpperBound(Opt.TaskIdx);
+  RegionConfig C = Runner.config();
+  if (Opt.PrevDoP + 1 <= Bar) {
+    C.DoP[Opt.TaskIdx] = Opt.PrevDoP + 1;
+  } else if (Opt.PrevDoP > 1) {
+    // The budget forbids even one upward probe.
+    BudgetLimited = true;
+    Opt.Dir = -1;
+    Opt.TriedDown = true;
+    C.DoP[Opt.TaskIdx] = Opt.PrevDoP - 1;
+  } else {
+    // Neither direction available: this task is done.
+    BudgetLimited = true;
+    Opt.Opt[Opt.TaskIdx] = true;
+    stepOptimizeNextTask(BaseThr);
+    return;
+  }
+  applyConfig(std::move(C));
+  beginMeasure(measureWindowIters());
+}
+
+void RegionController::stepOptimize(double Thr) {
+  recordTrace(Thr);
+  unsigned Cur = Runner.config().DoP[Opt.TaskIdx];
+  // Relative finite difference; tiny changes count as zero.
+  double Delta = Opt.PrevThr > 0 ? (Thr - Opt.PrevThr) / Opt.PrevThr
+                                 : (Thr > 0 ? 1.0 : 0.0);
+  const double Eps = 0.02;
+  bool Better = Opt.Dir > 0 ? Delta > Eps : Delta > -Eps;
+  // Decreasing search treats "no worse" as better: fewer threads for the
+  // same throughput saves energy (Section 6.4.2's delta = 0 rule).
+
+  // One transient-tolerant retry: a single noisy window must not end an
+  // ascent that is genuinely still climbing.
+  if (!Better && !Opt.Retried) {
+    Opt.Retried = true;
+    beginMeasure(measureWindowIters());
+    return;
+  }
+  Opt.Retried = false;
+
+  if (Better) {
+    Opt.PrevThr = Thr;
+    Opt.PrevDoP = Cur;
+    Opt.AnyImproved = true;
+    unsigned Next;
+    bool Feasible;
+    if (Opt.Dir > 0) {
+      Next = Cur + 1;
+      Feasible = Next <= dopUpperBound(Opt.TaskIdx);
+    } else {
+      Next = Cur - 1;
+      Feasible = Cur > 1;
+    }
+    if (Feasible) {
+      RegionConfig C = Runner.config();
+      C.DoP[Opt.TaskIdx] = Next;
+      applyConfig(std::move(C));
+      beginMeasure(measureWindowIters());
+      return;
+    }
+    // Hit a bound: this task is done at the current DoP. An increasing
+    // search stopped by the budget means more threads would help.
+    if (Opt.Dir > 0)
+      BudgetLimited = true;
+  } else if (Opt.Dir > 0 && !Opt.TriedDown && Opt.PrevDoP > 1) {
+    // The increasing probe failed; try the decreasing side once.
+    Opt.Dir = -1;
+    Opt.TriedDown = true;
+    RegionConfig C = Runner.config();
+    C.DoP[Opt.TaskIdx] = Opt.PrevDoP - 1;
+    applyConfig(std::move(C));
+    beginMeasure(measureWindowIters());
+    return;
+  } else {
+    // Passed the optimum: revert to the best DoP seen.
+    RegionConfig C = Runner.config();
+    if (C.DoP[Opt.TaskIdx] != Opt.PrevDoP) {
+      C.DoP[Opt.TaskIdx] = Opt.PrevDoP;
+      applyConfig(std::move(C));
+    }
+  }
+  Opt.Opt[Opt.TaskIdx] = true;
+  stepOptimizeNextTask(Opt.PrevThr);
+}
+
+void RegionController::stepOptimizeNextTask(double BaseThr) {
+  // Re-rank and pick the next unoptimized parallel task (Algorithm 4
+  // updates the order after optimizing each task).
+  std::vector<unsigned> Order = parallelTasksByAscendingThroughput();
+  for (unsigned T : Order) {
+    if (Opt.Opt[T])
+      continue;
+    Opt.TaskIdx = T;
+    Opt.PrevDoP = Runner.config().DoP[T];
+    Opt.PrevThr = BaseThr;
+    Opt.Dir = +1;
+    Opt.TriedDown = false;
+    unsigned Bar = dopUpperBound(T);
+    RegionConfig C = Runner.config();
+    if (Opt.PrevDoP + 1 <= Bar) {
+      C.DoP[T] = Opt.PrevDoP + 1;
+    } else if (Opt.PrevDoP > 1) {
+      BudgetLimited = true;
+      Opt.Dir = -1;
+      Opt.TriedDown = true;
+      C.DoP[T] = Opt.PrevDoP - 1;
+    } else {
+      BudgetLimited = true;
+      Opt.Opt[T] = true;
+      continue;
+    }
+    applyConfig(std::move(C));
+    beginMeasure(measureWindowIters());
+    return;
+  }
+  finishSchemeSearch(BaseThr);
+}
+
+void RegionController::finishSchemeSearch(double Thr) {
+  SchemeBest = {Runner.config(), Thr};
+  // Profitability: a parallel scheme must beat the sequential baseline by
+  // a margin; and among profitable candidates, small throughput slack is
+  // traded for fewer threads (energy).
+  bool Profitable = Thr > Tseq * P.ProfitabilityGain;
+  if (Profitable) {
+    bool BetterThr = Thr > Best.Thr * (1 + P.ThreadSavingSlack);
+    bool SameThrFewerThreads =
+        Thr > Best.Thr * (1 - P.ThreadSavingSlack) &&
+        SchemeBest.C.totalThreads() < Best.C.totalThreads();
+    if (BetterThr || SameThrFewerThreads)
+      Best = SchemeBest;
+  }
+  if (nextScheme())
+    return;
+  // All schemes explored: enforce the best configuration and monitor.
+  Cache.push_back({Budget, Best.C, Best.Thr, BudgetLimited});
+  applyConfig(Best.C);
+  enterMonitor();
+  if (OnOptimized)
+    OnOptimized(Best.C.totalThreads());
+}
+
+bool RegionController::nextScheme() {
+  ++SchemeIdx;
+  if (SchemeIdx >= SchemesToTry.size())
+    return false;
+  enterCalibrate(defaultConfigFor(SchemesToTry[SchemeIdx]));
+  return true;
+}
+
+void RegionController::enterMonitor() {
+  St = CtrlState::Monitor;
+  MonitorBaseThr = 0.0;
+  recordTrace(0);
+  beginMeasure(measureWindowIters() * 4);
+}
+
+RegionConfig RegionController::defaultConfigFor(Scheme S) const {
+  const RegionDesc &V = Runner.region().variant(S);
+  RegionConfig C;
+  C.S = S;
+  C.DoP.assign(V.numTasks(), 1);
+  unsigned NumPar = 0, NumSeq = 0;
+  for (const Task &T : V.Tasks)
+    (T.isParallel() ? NumPar : NumSeq)++;
+  if (NumPar == 0)
+    return C;
+  // Algorithm 4's starting point: every parallel task begins at half of
+  // the midpoint of its available range.
+  unsigned Avail = Budget > NumSeq ? Budget - NumSeq : 1;
+  unsigned Bar = (NumPar + 1) * Avail / (2 * NumPar);
+  unsigned D0 = std::max(1u, Bar / 2);
+  // Never exceed the budget in total.
+  while (D0 > 1 && NumSeq + NumPar * D0 > Budget)
+    --D0;
+  for (unsigned T = 0; T < V.numTasks(); ++T)
+    if (V.Tasks[T].isParallel())
+      C.DoP[T] = D0;
+  return C;
+}
+
+std::vector<unsigned>
+RegionController::parallelTasksByAscendingThroughput() const {
+  const RegionDesc &V = Runner.region().variant(Runner.config().S);
+  std::vector<unsigned> Par;
+  for (unsigned T = 0; T < V.numTasks(); ++T)
+    if (V.Tasks[T].isParallel())
+      Par.push_back(T);
+  const RegionExec *E = Runner.exec();
+  if (!E)
+    return Par;
+  // Rank by per-thread service rate: slower tasks (bigger per-iteration
+  // compute divided by team size) first.
+  std::vector<double> Rate(V.numTasks(), 0.0);
+  for (unsigned T : Par) {
+    double Exec = Decima::getExecTime(*E, T);
+    double DoP = static_cast<double>(Runner.config().DoP[T]);
+    Rate[T] = Exec > 0 ? DoP / Exec : 1e30; // iterations/cycle capacity
+  }
+  std::stable_sort(Par.begin(), Par.end(),
+                   [&](unsigned A, unsigned B) { return Rate[A] < Rate[B]; });
+  return Par;
+}
+
+unsigned RegionController::dopUpperBound(unsigned TaskIdx) const {
+  // Algorithm 4: dPi_bar = N - totalDoP + dPi.
+  unsigned Total = Runner.config().totalThreads();
+  unsigned Mine = Runner.config().DoP[TaskIdx];
+  if (Budget + Mine <= Total)
+    return Mine; // overloaded budget: no growth
+  return Budget - (Total - Mine);
+}
+
+void RegionController::setThreadBudget(unsigned N) {
+  assert(N >= 1 && "need at least one thread");
+  if (!Started || N == Budget || St == CtrlState::Done) {
+    Budget = std::max(1u, N);
+    return;
+  }
+  unsigned Old = Budget;
+  Budget = N;
+  if (St == CtrlState::Init)
+    return; // the baseline phase proceeds; the new budget applies after it
+  recordTrace(0);
+  // Cached configuration for this exact budget? Reuse it (Section 6.4.2).
+  for (const CacheEntry &E : Cache) {
+    if (E.Budget == N) {
+      Best = {E.C, E.Thr};
+      BudgetLimited = E.Limited;
+      applyConfig(E.C);
+      enterMonitor();
+      if (OnOptimized)
+        OnOptimized(E.C.totalThreads());
+      return;
+    }
+  }
+  Scheme S = Runner.config().S;
+  if (S == Scheme::Seq) {
+    // Running sequentially: a budget change may make parallelism viable,
+    // so re-run the full exploration.
+    SchemesToTry.clear();
+    for (const RegionDesc &V : Runner.region().variants())
+      if (V.S != Scheme::Seq)
+        SchemesToTry.push_back(V.S);
+    if (SchemesToTry.empty())
+      return;
+    S = SchemesToTry[0];
+    SchemeIdx = 0;
+    Best = {Runner.region().unitConfig(Scheme::Seq), Tseq};
+    enterCalibrate(defaultConfigFor(S));
+    return;
+  }
+  SchemesToTry = {S};
+  SchemeIdx = 0;
+  Best = {Runner.region().unitConfig(Scheme::Seq), Tseq};
+  if (N > Old && Runner.config().totalThreads() <= N) {
+    // More resources: keep the current DoP as the starting point.
+    enterCalibrate(Runner.config());
+  } else {
+    // Fewer resources: reset to the default under the new budget.
+    enterCalibrate(defaultConfigFor(S));
+  }
+}

@@ -1,0 +1,184 @@
+//===- Controller.h - Morta's closed-loop run-time controller ---*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-program run-time controller of Chapter 6: a finite-state
+/// machine (Figure 6.3) that
+///
+///   State 1 (INIT)      measures a sequential baseline over Nseq
+///                       iterations,
+///   State 2 (CALIBRATE) measures a freshly configured parallel scheme,
+///   State 3 (OPTIMIZE)  runs the finite-difference gradient-ascent search
+///                       of Algorithm 4 over the DoP of every parallel
+///                       task, prioritizing the slowest task,
+///   State 4 (MONITOR)   passively watches throughput and triggers
+///                       re-calibration on workload or resource change.
+///
+/// All parallel schemes the region exposes are explored; the best
+/// configuration (possibly SEQ, if no parallel scheme is profitable) is
+/// enforced. Optimized configurations are cached per thread budget and
+/// reused on re-entry, as Section 6.4.2 describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_CONTROLLER_H
+#define PARCAE_MORTA_CONTROLLER_H
+
+#include "decima/Monitor.h"
+#include "morta/RegionRunner.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace parcae::rt {
+
+/// Controller states (Figure 6.3).
+enum class CtrlState { Init, Calibrate, Optimize, Monitor, Done };
+
+const char *ctrlStateName(CtrlState S);
+
+/// Tunables of the run-time controller.
+struct ControllerParams {
+  /// Baseline iterations in INIT (the paper sets 10).
+  unsigned Nseq = 10;
+  /// Minimum relative throughput gain for a parallel scheme to be kept
+  /// over SEQ (the profitability check at the end of Algorithm 4).
+  double ProfitabilityGain = 1.05;
+  /// Relative throughput drift in MONITOR that triggers re-calibration.
+  double MonitorThreshold = 0.25;
+  /// Polling period of the controller.
+  sim::SimTime TickPeriod = 20 * sim::USec;
+  /// Throughput sampling window in MONITOR.
+  sim::SimTime MonitorWindow = 2 * sim::MSec;
+  /// When two configurations are within this factor in throughput, prefer
+  /// the one using fewer threads (saves energy, Section 6.4).
+  double ThreadSavingSlack = 0.03;
+};
+
+/// Per-program run-time controller.
+class RegionController {
+public:
+  RegionController(RegionRunner &Runner, ControllerParams P = {});
+
+  /// Starts controlling with \p ThreadBudget hardware threads. The runner
+  /// must not have been started; the controller launches it in SEQ.
+  void start(unsigned ThreadBudget);
+
+  /// Platform-wide daemon adjusts this program's share (Algorithm 5).
+  void setThreadBudget(unsigned N);
+
+  CtrlState state() const { return St; }
+  unsigned threadBudget() const { return Budget; }
+  /// Best configuration found so far and its measured throughput.
+  const RegionConfig &bestConfig() const { return Best.C; }
+  double bestThroughput() const { return Best.Thr; }
+  double seqThroughput() const { return Tseq; }
+  /// Threads the enforced configuration actually uses.
+  unsigned threadsUsed() const;
+  /// True when the last optimization wanted to grow some task's DoP but
+  /// was capped by the thread budget — i.e. more threads would help.
+  bool budgetLimited() const { return BudgetLimited; }
+
+  /// Fires on the OPTIMIZE -> MONITOR transition, reporting the number of
+  /// threads the optimal configuration uses (the daemon reclaims slack).
+  std::function<void(unsigned Used)> OnOptimized;
+
+  /// One line per state transition / measurement, for the Figure 8.8
+  /// timelines.
+  struct TraceEntry {
+    sim::SimTime At;
+    CtrlState St;
+    RegionConfig C;
+    double Thr; ///< iterations per second measured (0 if none)
+  };
+  const std::vector<TraceEntry> &trace() const { return Trace; }
+
+private:
+  struct Candidate {
+    RegionConfig C;
+    double Thr = 0.0;
+  };
+
+  void tick();
+  void scheduleTick();
+  void applyConfig(RegionConfig C);
+  void beginMeasure(std::uint64_t Iters);
+  bool measureReady() const;
+  double measuredRate() const;
+  std::uint64_t measureWindowIters() const;
+
+  void enterInit();
+  void enterCalibrate(RegionConfig C);
+  void enterOptimize(double BaseThr);
+  void enterMonitor();
+  void stepOptimize(double Thr);
+  void stepOptimizeNextTask(double BaseThr);
+  bool nextScheme();
+  RegionConfig defaultConfigFor(Scheme S) const;
+  std::vector<unsigned> parallelTasksByAscendingThroughput() const;
+  unsigned dopUpperBound(unsigned TaskIdx) const;
+  void recordTrace(double Thr);
+  void finishSchemeSearch(double Thr);
+
+  RegionRunner &Runner;
+  ControllerParams P;
+  sim::Simulator &Sim;
+
+  CtrlState St = CtrlState::Init;
+  unsigned Budget = 1;
+  double Tseq = 0.0;
+  Candidate Best;          ///< best across schemes (seeded with SEQ)
+  Candidate SchemeBest;    ///< best within the scheme being optimized
+  std::vector<Scheme> SchemesToTry;
+  std::size_t SchemeIdx = 0;
+
+  // Measurement window.
+  ThroughputWindow Window;
+  std::uint64_t WindowIters = 0;
+  bool Measuring = false;
+  bool MarkPending = false;
+  std::uint64_t WarmupAnchor = NoSeq;
+  std::vector<TaskWindow> TaskWindows;
+
+  // Algorithm 4 search state.
+  struct OptState {
+    std::vector<unsigned> Order; ///< parallel tasks, slowest first
+    std::size_t OrderIdx = 0;
+    unsigned TaskIdx = 0;
+    int Dir = +1;            ///< +1 increasing search, -1 decreasing
+    bool TriedDown = false;  ///< already probed the decreasing side
+    double PrevThr = 0.0;
+    unsigned PrevDoP = 0;
+    bool Retried = false; ///< one re-measure before declaring a probe bad
+    std::vector<bool> Opt;   ///< per task: optimized this round
+    bool AnyImproved = false;
+  } Opt;
+
+  bool BudgetLimited = false;
+
+  // Config cache per thread budget (Section 6.4.2).
+  struct CacheEntry {
+    unsigned Budget;
+    RegionConfig C;
+    double Thr;
+    bool Limited;
+  };
+  std::vector<CacheEntry> Cache;
+
+  // MONITOR bookkeeping.
+  double MonitorBaseThr = 0.0;
+
+  std::vector<TraceEntry> Trace;
+  bool TickScheduled = false;
+  bool Started = false;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_CONTROLLER_H

@@ -1,0 +1,133 @@
+//===- Platform.cpp - Platform-wide Morta daemon ---------------------------===//
+
+#include "morta/Platform.h"
+
+#include <algorithm>
+
+using namespace parcae::rt;
+
+void PlatformDaemon::addProgram(RegionController &C) {
+  Programs.push_back({&C, 0, 0});
+  C.OnOptimized = [this, Ctrl = &C](unsigned Used) {
+    onOptimized(Ctrl, Used);
+  };
+  partition();
+  // Start the newcomer under its assigned budget; re-budget the others.
+  for (Entry &E : Programs) {
+    if (E.Ctrl == &C) {
+      if (E.Ctrl->state() == CtrlState::Init && E.Ctrl->threadBudget() == 1 &&
+          E.Ctrl->trace().empty())
+        E.Ctrl->start(E.Budget);
+      else
+        E.Ctrl->setThreadBudget(E.Budget);
+    } else {
+      E.Ctrl->setThreadBudget(E.Budget);
+    }
+  }
+}
+
+void PlatformDaemon::removeProgram(RegionController &C) {
+  auto It = std::find_if(Programs.begin(), Programs.end(),
+                         [&](const Entry &E) { return E.Ctrl == &C; });
+  assert(It != Programs.end() && "program not registered");
+  Programs.erase(It);
+  if (Programs.empty())
+    return;
+  partition();
+  for (Entry &E : Programs)
+    E.Ctrl->setThreadBudget(E.Budget);
+}
+
+unsigned PlatformDaemon::budgetOf(const RegionController &C) const {
+  for (const Entry &E : Programs)
+    if (E.Ctrl == &C)
+      return E.Budget;
+  assert(false && "program not registered");
+  return 0;
+}
+
+void PlatformDaemon::partition() {
+  // Even split; remainder goes to the earliest-registered programs.
+  unsigned N = static_cast<unsigned>(Programs.size());
+  unsigned Share = std::max(1u, TotalThreads / N);
+  unsigned Rem = TotalThreads > Share * N ? TotalThreads - Share * N : 0;
+  for (Entry &E : Programs) {
+    E.Budget = Share + (Rem > 0 ? 1 : 0);
+    if (Rem > 0)
+      --Rem;
+    E.Used = 0;
+    E.ShrunkToFit = false;
+  }
+}
+
+void PlatformDaemon::onOptimized(RegionController *C, unsigned Used) {
+  for (Entry &E : Programs) {
+    if (E.Ctrl != C)
+      continue;
+    if (E.Used != Used)
+      E.ShrunkToFit = false; // a genuinely new need resets the damping
+    E.Used = Used;
+  }
+  rebalance();
+}
+
+void PlatformDaemon::rebalance() {
+  // setThreadBudget can synchronously re-enter through OnOptimized (a
+  // config-cache hit reports immediately); coalesce nested requests.
+  if (InRebalance) {
+    RebalancePending = true;
+    return;
+  }
+  InRebalance = true;
+  unsigned Rounds = 0;
+  do {
+    RebalancePending = false;
+    rebalanceOnce();
+    assert(++Rounds < 1000 && "platform rebalance did not converge");
+  } while (RebalancePending);
+  InRebalance = false;
+}
+
+void PlatformDaemon::rebalanceOnce() {
+  // Algorithm 5: shrink each program that reported needing fewer threads
+  // than its budget, collect the slack, and hand it to programs that
+  // consumed their entire share (they may benefit from more).
+  std::vector<Entry *> Hungry;
+  unsigned Committed = 0;
+  std::vector<unsigned> NewBudget(Programs.size());
+  for (std::size_t I = 0; I < Programs.size(); ++I) {
+    Entry &E = Programs[I];
+    NewBudget[I] = E.Budget;
+    if (E.Used > 0 && E.Used < E.Budget) {
+      NewBudget[I] = E.Used;
+      E.ShrunkToFit = true;
+    }
+    Committed += NewBudget[I];
+    if (E.Used > 0 && E.Used >= E.Budget && E.Ctrl->budgetLimited() &&
+        !E.ShrunkToFit)
+      Hungry.push_back(&E);
+  }
+  unsigned Slack = TotalThreads > Committed ? TotalThreads - Committed : 0;
+  if (Slack > 0 && !Hungry.empty()) {
+    unsigned Each = Slack / static_cast<unsigned>(Hungry.size());
+    unsigned Rem = Slack - Each * static_cast<unsigned>(Hungry.size());
+    for (Entry *E : Hungry) {
+      std::size_t I = static_cast<std::size_t>(E - Programs.data());
+      NewBudget[I] += Each + (Rem > 0 ? 1 : 0);
+      if (Rem > 0)
+        --Rem;
+    }
+  }
+  for (std::size_t I = 0; I < Programs.size(); ++I) {
+    Entry &E = Programs[I];
+    if (NewBudget[I] == E.Budget)
+      continue;
+    bool Grew = NewBudget[I] > E.Budget;
+    E.Budget = NewBudget[I];
+    if (Grew) {
+      E.Used = 0; // will re-report after re-optimizing with more threads
+      E.ShrunkToFit = false;
+    }
+    E.Ctrl->setThreadBudget(E.Budget);
+  }
+}

@@ -1,0 +1,76 @@
+//===- Platform.h - Platform-wide Morta daemon ------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The platform-wide run-time system of Section 6.4.3 (Algorithm 5): a
+/// daemon that partitions the machine's hardware threads across the
+/// flexible parallel programs currently executing. Each program's own
+/// controller optimizes within its budget and reports back the number of
+/// threads its optimal configuration actually uses; the daemon hands the
+/// slack to programs that consumed their full share, and re-partitions on
+/// program launch and termination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_PLATFORM_H
+#define PARCAE_MORTA_PLATFORM_H
+
+#include "morta/Controller.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parcae::rt {
+
+/// Platform-wide thread-budget arbiter (Algorithm 5).
+class PlatformDaemon {
+public:
+  explicit PlatformDaemon(unsigned TotalThreads)
+      : TotalThreads(TotalThreads) {
+    assert(TotalThreads >= 1 && "platform needs at least one thread");
+  }
+
+  /// Registers a program (its controller). Budgets of all programs are
+  /// re-partitioned; the new program's controller is started, the others
+  /// are notified of their reduced share.
+  void addProgram(RegionController &C);
+
+  /// Unregisters a terminated program and redistributes its threads.
+  void removeProgram(RegionController &C);
+
+  unsigned totalThreads() const { return TotalThreads; }
+  unsigned numPrograms() const {
+    return static_cast<unsigned>(Programs.size());
+  }
+
+  /// The current budget assigned to a registered program.
+  unsigned budgetOf(const RegionController &C) const;
+
+private:
+  struct Entry {
+    RegionController *Ctrl;
+    unsigned Budget;       ///< threads assigned by the daemon
+    unsigned Used;         ///< threads the optimal config uses (0: unknown)
+    /// The daemon shrank this program's budget to its reported optimum;
+    /// it is not "hungry" again until it reports a different need (this
+    /// breaks grow/shrink oscillation through the config cache).
+    bool ShrunkToFit = false;
+  };
+
+  void partition();
+  void onOptimized(RegionController *C, unsigned Used);
+  void rebalance();
+  void rebalanceOnce();
+
+  unsigned TotalThreads;
+  std::vector<Entry> Programs;
+  bool InRebalance = false;
+  bool RebalancePending = false;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_PLATFORM_H

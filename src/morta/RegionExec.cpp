@@ -1,0 +1,194 @@
+//===- RegionExec.cpp - Flexible execution of one parallel region ----------===//
+
+#include "morta/RegionExec.h"
+
+#include "morta/Worker.h"
+
+#include <algorithm>
+
+using namespace parcae::rt;
+
+namespace {
+/// Upper bound on any task's DoP (sized for oversubscription experiments
+/// that run 24 threads per stage on a 24-core machine).
+constexpr unsigned MaxWidth = 64;
+/// Base channel admission window: how many iterations production may run
+/// ahead of the slowest consumer (the bounded-queue depth). The effective
+/// window grows with the consumer's DoP; see Link::trySend.
+constexpr std::uint64_t LinkWindow = 16;
+} // namespace
+
+RegionExec::RegionExec(sim::Machine &M, const RuntimeCosts &Costs,
+                       const RegionDesc &Desc, WorkSource &Source,
+                       RegionConfig Config, std::uint64_t StartSeq)
+    : M(M), Costs(Costs), Desc(Desc), Source(Source),
+      Config(std::move(Config)), NextSeq(StartSeq) {
+  Desc.verify();
+  assert(this->Config.S == Desc.S && "config scheme must match the variant");
+  assert(this->Config.DoP.size() == Desc.Tasks.size() &&
+         "config needs one DoP per task");
+
+  Schedules.reserve(Desc.Tasks.size());
+  for (unsigned I = 0; I < Desc.numTasks(); ++I) {
+    unsigned D = this->Config.DoP[I];
+    assert(D >= 1 && D <= MaxWidth && "DoP out of range");
+    assert((Desc.Tasks[I].isParallel() || D == 1) &&
+           "sequential tasks have DoP 1");
+    Schedules.emplace_back(D);
+  }
+
+  InLinks.resize(Desc.numTasks());
+  OutLinks.resize(Desc.numTasks());
+  for (const LinkDesc &L : Desc.Links) {
+    auto Ch = std::make_unique<Link>(
+        Desc.Tasks[L.From].name() + "->" + Desc.Tasks[L.To].name(),
+        Schedules[L.To], MaxWidth, LinkWindow);
+    Ch->setLowWater(StartSeq);
+    OutLinks[L.From].push_back(Ch.get());
+    InLinks[L.To].push_back(Ch.get());
+    Links.push_back(std::move(Ch));
+  }
+
+  Stats.resize(Desc.numTasks());
+  ActiveByTask.resize(Desc.numTasks());
+  HasWorker.assign(Desc.numTasks(), std::vector<bool>(MaxWidth, false));
+}
+
+RegionExec::~RegionExec() = default;
+
+void RegionExec::start() {
+  assert(!Started && "region already started");
+  Started = true;
+  for (unsigned T = 0; T < Desc.numTasks(); ++T)
+    for (unsigned S = 0; S < Config.DoP[T]; ++S)
+      spawnWorker(T, S, NextSeq);
+}
+
+void RegionExec::spawnWorker(unsigned TaskIdx, unsigned Slot,
+                             std::uint64_t CursorFrom) {
+  assert(!HasWorker[TaskIdx][Slot] && "slot already has a worker");
+  auto Body = std::make_unique<Worker>(*this, TaskIdx, Slot, CursorFrom);
+  Worker *W = Body.get();
+  ActiveByTask[TaskIdx].push_back(W);
+  HasWorker[TaskIdx][Slot] = true;
+  ++ActiveWorkers;
+  M.spawn(Desc.Name + "/" + Desc.Tasks[TaskIdx].name() + "#" +
+              std::to_string(Slot),
+          std::move(Body));
+}
+
+void RegionExec::requestPause() {
+  if (PauseBound != NoSeq || Completed)
+    return;
+  PauseBound = NextSeq;
+  BoundEvent.notifyAll();
+}
+
+bool RegionExec::canReconfigureInPlace() const {
+  return Costs.OptimizedBarrier && !pauseRequested() && !Completed && Started;
+}
+
+void RegionExec::reconfigureInPlace(const std::vector<unsigned> &NewDoP) {
+  assert(canReconfigureInPlace() && "in-place reconfiguration not possible");
+  assert(NewDoP.size() == Desc.Tasks.size() && "one DoP per task");
+
+  // The iteration-count handoff of Section 7.2: iterations before B keep
+  // the old routing; iterations from B on use the new widths.
+  std::uint64_t B = NextSeq;
+  for (unsigned T = 0; T < Desc.numTasks(); ++T) {
+    unsigned D = NewDoP[T];
+    assert(D >= 1 && D <= MaxWidth && "DoP out of range");
+    assert((Desc.Tasks[T].isParallel() || D == 1) &&
+           "sequential tasks have DoP 1");
+    Schedules[T].append(B, D);
+    // Sequential tasks briefly synchronize to update their channel-width
+    // view (Section 7.2.2); model this as one barrier cost on their next
+    // iteration.
+    if (!Desc.Tasks[T].isParallel())
+      for (Worker *W : ActiveByTask[T])
+        W->PendingCost += Costs.BarrierCost;
+    for (unsigned S = 0; S < D; ++S)
+      if (!HasWorker[T][S])
+        spawnWorker(T, S, B);
+    // Slots with S >= D retire on their own when they drain their pre-B
+    // iterations (their next owned iteration becomes NoSeq).
+  }
+  Config.DoP = NewDoP;
+  // Wake workers blocked on iterations the new routing reassigned; they
+  // re-derive their cursor from the updated schedule.
+  BoundEvent.notifyAll();
+}
+
+void RegionExec::onWorkerExit(Worker *W, TaskStatus Status) {
+  unsigned T = W->taskIdx();
+  auto &List = ActiveByTask[T];
+  auto It = std::find(List.begin(), List.end(), W);
+  assert(It != List.end() && "worker exited twice");
+  List.erase(It);
+  assert(HasWorker[T][W->slot()]);
+  HasWorker[T][W->slot()] = false;
+  assert(ActiveWorkers > 0);
+  --ActiveWorkers;
+  updateLowWater(T);
+
+  // A reconfiguration may have made this slot live again between the
+  // worker's retirement decision and its exit; respawn so no iteration is
+  // orphaned.
+  std::uint64_t Next = W->taskIdx() == 0
+                           ? NoSeq
+                           : Schedules[T].firstSeqFor(W->slot(), W->CursorFrom);
+  std::uint64_t Bound = std::min(PauseBound, EndBound);
+  if (Next != NoSeq && (Bound == NoSeq || Next < Bound)) {
+    spawnWorker(T, W->slot(), W->CursorFrom);
+    return;
+  }
+  (void)Status;
+
+  if (ActiveWorkers == 0) {
+    if (EndBound != NoSeq && EndBound <= PauseBound) {
+      Completed = true;
+      if (OnComplete)
+        OnComplete();
+    } else if (OnQuiescent) {
+      OnQuiescent();
+    }
+  }
+}
+
+void RegionExec::updateLowWater(unsigned TaskIdx) {
+  if (InLinks[TaskIdx].empty())
+    return;
+  const auto &List = ActiveByTask[TaskIdx];
+  if (List.empty())
+    return;
+  std::uint64_t Min = NoSeq;
+  for (const Worker *W : List)
+    Min = std::min(Min, W->lowBound());
+  for (Link *L : InLinks[TaskIdx])
+    L->setLowWater(Min);
+}
+
+void RegionExec::retireIteration(unsigned TaskIdx) {
+  (void)TaskIdx;
+  ++IterationsRetired;
+}
+
+SimLock &RegionExec::lockFor(int LockId) {
+  auto &Slot = Locks[LockId];
+  if (!Slot)
+    Slot = std::make_unique<SimLock>();
+  return *Slot;
+}
+
+double RegionExec::loadOf(unsigned TaskIdx) const {
+  assert(TaskIdx < Desc.numTasks());
+  const Task &T = Desc.Tasks[TaskIdx];
+  if (T.LoadCB)
+    return T.LoadCB();
+  if (TaskIdx == 0)
+    return Source.load();
+  double Sum = 0;
+  for (const Link *L : InLinks[TaskIdx])
+    Sum += static_cast<double>(L->buffered());
+  return Sum;
+}

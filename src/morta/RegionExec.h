@@ -1,0 +1,166 @@
+//===- RegionExec.h - Flexible execution of one parallel region -*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one parallelization (RegionDesc) of a region on the simulated
+/// machine under a parallelism configuration, with the full flexible
+/// execution protocol of the paper:
+///
+///  * Workers implement Algorithm 2: fetch an instance, run one iteration,
+///    return task_iterating / task_paused / task_complete, and synchronize
+///    at the region barrier when pausing or completing.
+///  * The head (master) task claims iterations from the region's
+///    WorkSource; pause signals bound the claimed iteration space exactly
+///    like the master's get_status() check at the top of each iteration
+///    (Section 4.6), and every other task drains all iterations below the
+///    bound before pausing — the channel-flush of the pause protocol.
+///  * DoP-only reconfigurations can be applied in place via the
+///    iteration-count handoff of Section 7.2 (optimized barrier): the
+///    consumer-side channel width switches from m to n exactly at the
+///    master iteration count I, preserving round-robin order (Figure 7.5).
+///  * Scheme switches and unoptimized mode use the full pause-drain-resume
+///    path, whose cost the Chapter 7 ablation measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_REGIONEXEC_H
+#define PARCAE_MORTA_REGIONEXEC_H
+
+#include "core/Costs.h"
+#include "core/Link.h"
+#include "core/Lock.h"
+#include "core/Region.h"
+#include "core/Task.h"
+#include "core/WidthSchedule.h"
+#include "core/WorkSource.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace parcae::rt {
+
+class Worker;
+
+/// Per-task counters Decima reads (Section 4.7's hooks feed these).
+struct TaskStats {
+  std::uint64_t Iterations = 0;
+  sim::SimTime ComputeTime = 0;
+  sim::SimTime CommTime = 0;
+};
+
+/// Runs one RegionDesc under one configuration until the work source ends
+/// or a pause drains it.
+class RegionExec {
+public:
+  /// \p StartSeq is the first iteration index this execution will claim
+  /// (nonzero when resuming after a reconfiguration or scheme switch).
+  RegionExec(sim::Machine &M, const RuntimeCosts &Costs,
+             const RegionDesc &Desc, WorkSource &Source, RegionConfig Config,
+             std::uint64_t StartSeq = 0);
+  ~RegionExec();
+  RegionExec(const RegionExec &) = delete;
+  RegionExec &operator=(const RegionExec &) = delete;
+
+  /// Spawns the initial workers.
+  void start();
+
+  // --- Morta-facing control -------------------------------------------
+
+  /// Signals the master to pause; all tasks drain iterations below the
+  /// bound and exit. OnQuiescent fires when the last worker leaves.
+  void requestPause();
+
+  /// Applies a DoP-only change in place (optimized barrier, Section 7.2).
+  /// Requires the optimized-barrier cost switch and the same scheme.
+  void reconfigureInPlace(const std::vector<unsigned> &NewDoP);
+
+  /// True when a DoP-only switch to \p NewDoP can avoid the full barrier.
+  bool canReconfigureInPlace() const;
+
+  bool running() const { return ActiveWorkers > 0; }
+  bool completed() const { return Completed; }
+  bool pauseRequested() const { return PauseBound != NoSeq; }
+
+  /// Master iteration count: the next iteration index the head will claim.
+  std::uint64_t nextSeq() const { return NextSeq; }
+
+  const RegionConfig &config() const { return Config; }
+  const RegionDesc &desc() const { return Desc; }
+
+  /// Fires when all workers have exited after a pause (drained state).
+  std::function<void()> OnQuiescent;
+  /// Fires when the region completes (work source exhausted and drained).
+  std::function<void()> OnComplete;
+
+  // --- Decima-facing monitoring ---------------------------------------
+
+  const TaskStats &stats(unsigned TaskIdx) const {
+    assert(TaskIdx < Stats.size());
+    return Stats[TaskIdx];
+  }
+
+  /// Iterations fully retired (seen by the tail task).
+  std::uint64_t iterationsRetired() const { return IterationsRetired; }
+
+  /// Workload on a task: its LoadCB if registered, the work-queue
+  /// occupancy for the head, or the input-channel occupancy otherwise.
+  double loadOf(unsigned TaskIdx) const;
+
+  unsigned numTasks() const { return Desc.numTasks(); }
+  sim::Machine &machine() { return M; }
+  const RuntimeCosts &costs() const { return Costs; }
+
+private:
+  friend class Worker;
+
+  /// Worker callbacks.
+  void onWorkerExit(Worker *W, TaskStatus Status);
+  void updateLowWater(unsigned TaskIdx);
+  void retireIteration(unsigned TaskIdx);
+  SimLock &lockFor(int LockId);
+
+  void spawnWorker(unsigned TaskIdx, unsigned Slot, std::uint64_t CursorFrom);
+
+  std::vector<Link *> &inLinks(unsigned TaskIdx) { return InLinks[TaskIdx]; }
+  std::vector<Link *> &outLinks(unsigned TaskIdx) { return OutLinks[TaskIdx]; }
+
+  sim::Machine &M;
+  const RuntimeCosts &Costs;
+  const RegionDesc &Desc;
+  WorkSource &Source;
+  RegionConfig Config;
+
+  /// Next iteration the head claims; bounds below refer to this space.
+  std::uint64_t NextSeq;
+  /// Iterations >= PauseBound are not executed in this exec (NoSeq: none).
+  std::uint64_t PauseBound = NoSeq;
+  /// Set when the source ends: iterations >= EndBound do not exist.
+  std::uint64_t EndBound = NoSeq;
+  /// Signalled whenever PauseBound or EndBound changes.
+  sim::Waitable BoundEvent;
+
+  std::vector<WidthSchedule> Schedules;           // one per task
+  std::vector<std::unique_ptr<Link>> Links;       // storage
+  std::vector<std::vector<Link *>> InLinks;       // per task
+  std::vector<std::vector<Link *>> OutLinks;      // per task
+  std::map<int, std::unique_ptr<SimLock>> Locks;  // DOANY critical sections
+  std::vector<TaskStats> Stats;
+
+  std::vector<std::vector<Worker *>> ActiveByTask; // live workers per task
+  std::vector<std::vector<bool>> HasWorker;        // per task per slot
+  unsigned ActiveWorkers = 0;
+  bool Started = false;
+  bool Completed = false;
+  std::uint64_t IterationsRetired = 0;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_REGIONEXEC_H

@@ -1,0 +1,93 @@
+//===- RegionRunner.cpp - Lifetime management of a flexible region ---------===//
+
+#include "morta/RegionRunner.h"
+
+#include <algorithm>
+
+using namespace parcae::rt;
+
+RegionRunner::RegionRunner(sim::Machine &M, const RuntimeCosts &Costs,
+                           const FlexibleRegion &Region, WorkSource &Source)
+    : M(M), Costs(Costs), Region(Region), Source(Source) {}
+
+RegionRunner::~RegionRunner() = default;
+
+void RegionRunner::start(RegionConfig Initial) {
+  assert(!Started && "runner already started");
+  Started = true;
+  Config = Initial;
+  beginExec(std::move(Initial), 0);
+}
+
+void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
+  Exec = std::make_unique<RegionExec>(M, Costs, Region.variant(C.S), Source,
+                                      C, StartSeq);
+  Config = std::move(C);
+  Exec->OnComplete = [this] {
+    Completed = true;
+    if (OnComplete)
+      OnComplete();
+  };
+  Exec->OnQuiescent = [this] { onQuiescent(); };
+  Exec->start();
+}
+
+bool RegionRunner::reconfigure(RegionConfig Target) {
+  if (Completed || !Started)
+    return false;
+  assert(Region.hasVariant(Target.S) && "unknown scheme for this region");
+  assert(Target.DoP.size() == Region.variant(Target.S).numTasks() &&
+         "one DoP per task of the target variant");
+
+  if (Transitioning) {
+    // Coalesce: the pending transition resumes into the newest target.
+    Pending = std::move(Target);
+    return true;
+  }
+  if (Target == Config)
+    return false;
+
+  ++Reconfigurations;
+  if (Target.S == Config.S && Exec && Exec->canReconfigureInPlace()) {
+    Exec->reconfigureInPlace(Target.DoP);
+    Config = std::move(Target);
+    if (OnReconfigured)
+      OnReconfigured();
+    return true;
+  }
+
+  // Full path: pause, drain, then resume under the new configuration.
+  ++FullPauses;
+  Transitioning = true;
+  Pending = std::move(Target);
+  PauseRequestedAt = M.sim().now();
+  Exec->requestPause();
+  return true;
+}
+
+void RegionRunner::onQuiescent() {
+  assert(Transitioning && "quiescent without a pending transition");
+  std::uint64_t StartSeq = Exec->nextSeq();
+  RetiredBase += Exec->iterationsRetired();
+  // Keep the drained exec alive until the new one is constructed: workers
+  // have fully exited, but the object owns the channel storage.
+  Retiring = std::move(Exec);
+
+  // Section 7.3: with overlap, the optimization routine ran during the
+  // drain, so only its remainder (if the drain was shorter) delays the
+  // resume; without it, the full routine runs after the barrier.
+  sim::SimTime Delay = Costs.ReconfigCompute;
+  if (Costs.OverlapReconfig) {
+    sim::SimTime Drained = M.sim().now() - PauseRequestedAt;
+    Delay = Drained >= Delay ? 0 : Delay - Drained;
+  }
+
+  RegionConfig Next = std::move(Pending);
+  M.sim().schedule(Delay, [this, Next = std::move(Next), StartSeq]() mutable {
+    Transitioning = false;
+    Retiring.reset();
+    beginExec(std::move(Next), StartSeq);
+    if (OnReconfigured)
+      OnReconfigured();
+  });
+}

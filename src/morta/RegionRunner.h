@@ -1,0 +1,107 @@
+//===- RegionRunner.h - Lifetime management of a flexible region -*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the execution of one FlexibleRegion across arbitrarily many
+/// reconfigurations. The runner picks, per reconfiguration request, the
+/// cheapest legal path:
+///
+///  * DoP-only change, optimized barrier on  -> in-place iteration-count
+///    handoff (Section 7.2), no drain;
+///  * otherwise -> the full pause / drain / barrier / resume protocol of
+///    Section 4.6, with the optimization routine optionally overlapped
+///    with the drain (Section 7.3).
+///
+/// Iteration indices are continuous across every switch, so downstream
+/// consumers never observe reordering, loss, or duplication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_REGIONRUNNER_H
+#define PARCAE_MORTA_REGIONRUNNER_H
+
+#include "core/Costs.h"
+#include "core/Region.h"
+#include "core/WorkSource.h"
+#include "morta/RegionExec.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace parcae::rt {
+
+/// Runs a FlexibleRegion, switching configurations on request.
+class RegionRunner {
+public:
+  RegionRunner(sim::Machine &M, const RuntimeCosts &Costs,
+               const FlexibleRegion &Region, WorkSource &Source);
+  ~RegionRunner();
+  RegionRunner(const RegionRunner &) = delete;
+  RegionRunner &operator=(const RegionRunner &) = delete;
+
+  /// Launches execution under \p Initial.
+  void start(RegionConfig Initial);
+
+  /// Switches to \p Target. Asynchronous: in-flight iterations finish
+  /// under the old configuration. Ignored if the region completed or a
+  /// switch is already in progress (the request is coalesced into the
+  /// pending one). Returns true if the request was accepted.
+  bool reconfigure(RegionConfig Target);
+
+  /// True while a pause-drain-resume transition is in flight.
+  bool transitioning() const { return Transitioning; }
+
+  bool completed() const { return Completed; }
+  const RegionConfig &config() const { return Config; }
+  const FlexibleRegion &region() const { return Region; }
+  sim::Machine &machine() { return M; }
+  WorkSource &source() { return Source; }
+
+  /// The current execution, if any (may be null mid-transition).
+  RegionExec *exec() { return Exec.get(); }
+  const RegionExec *exec() const { return Exec.get(); }
+
+  /// Iterations retired across all executions of this region.
+  std::uint64_t totalRetired() const {
+    return RetiredBase + (Exec ? Exec->iterationsRetired() : 0);
+  }
+
+  /// Number of reconfigurations applied (in-place + full).
+  unsigned reconfigurations() const { return Reconfigurations; }
+  /// Number that took the full pause-drain-resume path.
+  unsigned fullPauses() const { return FullPauses; }
+
+  std::function<void()> OnComplete;
+  /// Fires when a requested reconfiguration has fully taken effect.
+  std::function<void()> OnReconfigured;
+
+private:
+  void beginExec(RegionConfig C, std::uint64_t StartSeq);
+  void onQuiescent();
+
+  sim::Machine &M;
+  const RuntimeCosts &Costs;
+  const FlexibleRegion &Region;
+  WorkSource &Source;
+
+  RegionConfig Config;
+  std::unique_ptr<RegionExec> Exec;
+  std::unique_ptr<RegionExec> Retiring; ///< kept alive until replaced
+  RegionConfig Pending;
+  bool Transitioning = false;
+  bool Completed = false;
+  bool Started = false;
+  std::uint64_t RetiredBase = 0;
+  unsigned Reconfigurations = 0;
+  unsigned FullPauses = 0;
+  sim::SimTime PauseRequestedAt = 0;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_REGIONRUNNER_H

@@ -1,0 +1,219 @@
+//===- Worker.cpp - The Morta worker loop (Algorithm 2) --------------------===//
+
+#include "morta/Worker.h"
+
+using namespace parcae::rt;
+using parcae::sim::Action;
+
+Worker::Worker(RegionExec &R, unsigned TaskIdx, unsigned Slot,
+               std::uint64_t CursorFrom)
+    : R(R), TaskIdx(TaskIdx), Slot(Slot), T(R.Desc.Tasks[TaskIdx]),
+      IsHead(TaskIdx == 0), IsTail(TaskIdx + 1 == R.Desc.numTasks()),
+      CursorFrom(CursorFrom) {}
+
+Action Worker::resume(sim::Machine &M, sim::SimThread &) {
+  const RuntimeCosts &C = R.Costs;
+  switch (St) {
+  case State::Init:
+    St = State::Fetch;
+    return Action::compute(C.ThreadSpawn + C.InitCost + T.InitCost);
+
+  case State::Fetch:
+    return stepFetch();
+
+  case State::Recv: {
+    auto &In = R.inLinks(TaskIdx);
+    if (NextIn < In.size()) {
+      // Nothing received yet: the iteration may have been invalidated by
+      // a newly set bound (its tokens will never be produced) or
+      // reassigned to another slot by an in-place reconfiguration (stale
+      // cursor). Re-derive from Fetch in either case. Once the first
+      // token has arrived, the iteration is committed to this slot and
+      // all remaining tokens are guaranteed to come.
+      if (NextIn == 0) {
+        std::uint64_t B = std::min(R.PauseBound, R.EndBound);
+        bool OutOfBounds = B != NoSeq && Cursor >= B;
+        bool Stale =
+            R.Schedules[TaskIdx].firstSeqFor(Slot, CursorFrom) != Cursor;
+        if (OutOfBounds || Stale) {
+          InIteration = false;
+          St = State::Fetch;
+          return Action::compute(0);
+        }
+      }
+      Token Tok;
+      if (!In[NextIn]->tryRecv(Slot, Cursor, Tok))
+        return Action::blockAny(In[NextIn]->dataAvail(Slot), R.BoundEvent);
+      Ctx.In.push_back(std::move(Tok));
+      ++NextIn;
+      R.Stats[TaskIdx].CommTime += C.CommRecv;
+      return Action::compute(C.CommRecv);
+    }
+    // All inputs in hand: run the functor and charge its cost.
+    return runFunctor(M);
+  }
+
+  case State::Compute:
+    // Main compute already charged when entering; proceed to criticals.
+    St = State::Critical;
+    return Action::compute(0);
+
+  case State::Critical: {
+    if (NextCrit < Ctx.Criticals.size()) {
+      const CriticalSection &CS = Ctx.Criticals[NextCrit];
+      SimLock &L = R.lockFor(CS.LockId);
+      if (!CritHeld) {
+        if (!L.tryAcquire())
+          return Action::block(L.released());
+        CritHeld = true;
+        R.Stats[TaskIdx].ComputeTime += CS.Cycles;
+        return Action::compute(C.LockCost + CS.Cycles);
+      }
+      L.release();
+      CritHeld = false;
+      ++NextCrit;
+      return Action::compute(0);
+    }
+    St = State::Send;
+    NextOut = 0;
+    return Action::compute(0);
+  }
+
+  case State::Send: {
+    auto &Out = R.outLinks(TaskIdx);
+    if (NextOut < Out.size()) {
+      if (!Out[NextOut]->trySend(Ctx.Out[NextOut]))
+        return Action::block(Out[NextOut]->spaceAvail());
+      ++NextOut;
+      R.Stats[TaskIdx].CommTime += C.CommSend;
+      return Action::compute(C.CommSend);
+    }
+    St = State::IterDone;
+    return Action::compute(0);
+  }
+
+  case State::IterDone:
+    ++R.Stats[TaskIdx].Iterations;
+    if (IsTail)
+      R.retireIteration(TaskIdx);
+    InIteration = false;
+    CursorFrom = Cursor + 1;
+    R.updateLowWater(TaskIdx);
+    St = State::Fetch;
+    return Action::compute(0);
+
+  case State::Finish:
+    St = State::Exit;
+    R.onWorkerExit(this, ExitStatus);
+    return Action::finish();
+
+  case State::Exit:
+    break;
+  }
+  assert(false && "worker resumed in a terminal state");
+  return Action::finish();
+}
+
+Action Worker::stepFetch() {
+  std::uint64_t Bound = std::min(R.PauseBound, R.EndBound);
+
+  if (IsHead) {
+    // A head slot whose slot index fell out of the current DoP retires.
+    if (Slot >= R.Schedules[TaskIdx].currentWidth())
+      return finishWith(TaskStatus::Paused);
+    if (Bound != NoSeq && R.NextSeq >= Bound)
+      return finishWith(R.EndBound <= R.PauseBound ? TaskStatus::Complete
+                                                   : TaskStatus::Paused);
+    Token Item;
+    switch (R.Source.tryPull(Item)) {
+    case WorkSource::Pull::Wait:
+      return Action::blockAny(R.Source.readyEvent(), R.BoundEvent);
+    case WorkSource::Pull::End:
+      if (R.EndBound == NoSeq) {
+        R.EndBound = R.NextSeq;
+        R.BoundEvent.notifyAll();
+      }
+      return finishWith(TaskStatus::Complete);
+    case WorkSource::Pull::Got:
+      break;
+    }
+    Cursor = R.NextSeq++;
+    InIteration = true;
+    Ctx.In.clear();
+    Ctx.In.push_back(std::move(Item));
+    NextIn = 0;
+    assert(R.inLinks(TaskIdx).empty() && "head task cannot have in-links");
+    return runFunctor(R.machine());
+  }
+
+  Cursor = R.Schedules[TaskIdx].firstSeqFor(Slot, CursorFrom);
+  if (Cursor == NoSeq)
+    return finishWith(TaskStatus::Paused); // slot retired by DoP decrease
+  if (Bound != NoSeq && Cursor >= Bound)
+    return finishWith(R.EndBound <= R.PauseBound ? TaskStatus::Complete
+                                                 : TaskStatus::Paused);
+  InIteration = true;
+  Ctx.In.clear();
+  NextIn = 0;
+  St = State::Recv;
+  return Action::compute(0);
+}
+
+Action Worker::runFunctor(sim::Machine &M) {
+  const RuntimeCosts &C = R.Costs;
+  Ctx.Seq = Cursor;
+  Ctx.Slot = Slot;
+  Ctx.Now = M.sim().now();
+  Ctx.Cost = 0;
+  Ctx.Gang = 1;
+  Ctx.EndOfStream = false;
+  Ctx.Criticals.clear();
+  Ctx.Out.assign(R.outLinks(TaskIdx).size(), Token{});
+  for (Token &O : Ctx.Out)
+    O.Seq = Cursor;
+
+  T.Fn(Ctx);
+
+  if (Ctx.EndOfStream) {
+    // The loop's own exit condition fired: no iteration beyond this one.
+    assert(IsHead && "only the head task can end the stream");
+    if (Cursor + 1 < R.EndBound) {
+      R.EndBound = Cursor + 1;
+      R.BoundEvent.notifyAll();
+    }
+  }
+
+  if (T.Reduction) {
+    if (C.PrivatizedReductions)
+      UsedReduction = true; // local accumulation, merged at exit
+    else
+      Ctx.Criticals.push_back(*T.Reduction);
+  }
+  NextCrit = 0;
+  CritHeld = false;
+
+  sim::SimTime Total = Ctx.Cost + C.HookCost + PendingCost;
+  PendingCost = 0;
+  if (IsHead)
+    Total += C.StatusQuery; // master's per-iteration get_status()
+  if (!C.OptimizedDataManagement) {
+    Total += C.TaskActivation; // yield to the task-activation loop
+    if (T.type() == TaskType::Seq)
+      Total += C.HeapSpill; // save/reload cross-iteration state
+  }
+  R.Stats[TaskIdx].ComputeTime += Ctx.Cost;
+  St = State::Compute;
+  if (Ctx.Gang > 1)
+    return Action::gangCompute(Ctx.Gang, Total);
+  return Action::compute(Total);
+}
+
+Action Worker::finishWith(TaskStatus S) {
+  const RuntimeCosts &C = R.Costs;
+  ExitStatus = S;
+  St = State::Finish;
+  sim::SimTime Cost = T.FiniCost + C.BarrierCost;
+  if (UsedReduction)
+    Cost += C.ReduceMergeCost;
+  return Action::compute(Cost);
+}

@@ -1,0 +1,93 @@
+//===- Worker.h - The Morta worker loop (Algorithm 2) -----------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One worker thread executing instances of one task slot. The control
+/// logic is the paper's Algorithm 2, expressed as the explicit state
+/// machine the simulated Machine requires: fetch the next instance (claim
+/// an iteration from the work source for the head task, or compute the
+/// next owned iteration from the task's WidthSchedule otherwise), receive
+/// inputs, run the functor, charge compute, run critical sections, send
+/// outputs, and loop — until the instance space is bounded by a pause or
+/// the end of work, at which point the worker flushes, pays its FiniCB
+/// and barrier costs, and exits with task_paused or task_complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_WORKER_H
+#define PARCAE_MORTA_WORKER_H
+
+#include "core/Task.h"
+#include "core/Types.h"
+#include "morta/RegionExec.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+
+namespace parcae::rt {
+
+/// The worker's reusable iteration context.
+using WorkerContext = IterationContext;
+
+/// ThreadBody for one (task, slot) pair.
+class Worker : public sim::ThreadBody {
+public:
+  Worker(RegionExec &R, unsigned TaskIdx, unsigned Slot,
+         std::uint64_t CursorFrom);
+
+  sim::Action resume(sim::Machine &M, sim::SimThread &T) override;
+
+  unsigned taskIdx() const { return TaskIdx; }
+  unsigned slot() const { return Slot; }
+
+  /// Smallest iteration this worker may still need tokens for; feeds the
+  /// links' low-water marks.
+  std::uint64_t lowBound() const { return InIteration ? Cursor : CursorFrom; }
+
+private:
+  friend class RegionExec;
+
+  enum class State {
+    Init,        ///< pay Tinit and spawn costs
+    Fetch,       ///< find/claim the next instance or detect pause/end
+    Recv,        ///< receive one input token per in-link
+    Compute,     ///< charge the functor's compute cost
+    Critical,    ///< acquire/run/release critical sections
+    Send,        ///< send one output token per out-link
+    IterDone,    ///< bookkeeping, then loop to Fetch
+    Finish,      ///< pay FiniCB/merge/barrier costs
+    Exit         ///< leave the machine
+  };
+
+  sim::Action stepFetch();
+  sim::Action runFunctor(sim::Machine &M);
+  sim::Action finishWith(TaskStatus S);
+
+  RegionExec &R;
+  unsigned TaskIdx;
+  unsigned Slot;
+  const Task &T;
+  bool IsHead;
+  bool IsTail;
+
+  State St = State::Init;
+  std::uint64_t CursorFrom; ///< first iteration index not yet owned
+  std::uint64_t Cursor = 0; ///< iteration currently in flight
+  bool InIteration = false;
+
+  WorkerContext Ctx;
+  std::size_t NextIn = 0;   ///< next in-link to receive from
+  std::size_t NextOut = 0;  ///< next out-link to send to
+  std::size_t NextCrit = 0; ///< next critical section to run
+  bool CritHeld = false;
+  bool UsedReduction = false; ///< privatized reduction state to merge
+  sim::SimTime PendingCost = 0; ///< extra cost injected by reconfigurations
+  TaskStatus ExitStatus = TaskStatus::Complete;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_WORKER_H

@@ -1,0 +1,86 @@
+//===- BoundedQueue.h - Blocking bounded FIFO queues ------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded FIFO with Waitables for "not empty" and "not full". This is
+/// the primitive under both the applications' work queues and the
+/// point-to-point communication channels MTCG inserts between pipeline
+/// stages (Section 4.5.3). Push/pop are non-blocking; thread bodies block
+/// on the waitables and re-try, which matches the poll-style Machine
+/// contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_BOUNDEDQUEUE_H
+#define PARCAE_SIM_BOUNDEDQUEUE_H
+
+#include "sim/Machine.h"
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace parcae::sim {
+
+/// Bounded FIFO queue of T with wakeup conditions.
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(std::size_t Capacity = 32) : Capacity(Capacity) {
+    assert(Capacity > 0 && "queue capacity must be positive");
+  }
+
+  /// Appends \p Item if there is room; wakes blocked consumers.
+  bool tryPush(T Item) {
+    if (Items.size() >= Capacity)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notifyAll();
+    return true;
+  }
+
+  /// Pops the oldest item into \p Out; wakes blocked producers.
+  bool tryPop(T &Out) {
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notifyAll();
+    return true;
+  }
+
+  /// Reads the oldest item without removing it.
+  const T &front() const {
+    assert(!Items.empty() && "front() on empty queue");
+    return Items.front();
+  }
+
+  std::size_t size() const { return Items.size(); }
+  std::size_t capacity() const { return Capacity; }
+  bool empty() const { return Items.empty(); }
+  bool full() const { return Items.size() >= Capacity; }
+
+  /// Signalled whenever an item is pushed.
+  Waitable &notEmpty() { return NotEmpty; }
+  /// Signalled whenever an item is popped.
+  Waitable &notFull() { return NotFull; }
+
+  /// Drops all queued items (used when a region is torn down).
+  void clear() {
+    Items.clear();
+    NotFull.notifyAll();
+  }
+
+private:
+  std::size_t Capacity;
+  std::deque<T> Items;
+  Waitable NotEmpty;
+  Waitable NotFull;
+};
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_BOUNDEDQUEUE_H

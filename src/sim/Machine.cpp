@@ -1,0 +1,212 @@
+//===- Machine.cpp - Simulated multicore machine ---------------------------===//
+
+#include "sim/Machine.h"
+
+#include <algorithm>
+
+using namespace parcae::sim;
+
+ThreadBody::~ThreadBody() = default;
+
+void Waitable::notifyAll() {
+  std::vector<SimThread *> Woken;
+  Woken.swap(Waiters);
+  for (SimThread *T : Woken)
+    T->machine().wake(T);
+}
+
+void Waitable::notifyOne() {
+  if (Waiters.empty())
+    return;
+  SimThread *T = Waiters.front();
+  Waiters.erase(Waiters.begin());
+  T->machine().wake(T);
+}
+
+Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
+    : Sim(Sim), Cfg(Cfg), Cores(NumCores) {
+  assert(NumCores > 0 && "machine needs at least one core");
+}
+
+Machine::~Machine() = default;
+
+SimThread *Machine::spawn(std::string Name, std::unique_ptr<ThreadBody> Body) {
+  assert(Body && "spawn() requires a body");
+  auto T = std::unique_ptr<SimThread>(
+      new SimThread(*this, Threads.size(), std::move(Name), std::move(Body)));
+  SimThread *Raw = T.get();
+  Threads.push_back(std::move(T));
+  ++AliveCount;
+  ReadyQueue.push_back(Raw);
+  dispatch();
+  return Raw;
+}
+
+SimTime Machine::busyCoreTime() const {
+  // Fold in the interval since the last busy-count change.
+  BusyIntegral += static_cast<SimTime>(BusyCount) *
+                  (Sim.now() - BusyIntegralLast);
+  BusyIntegralLast = Sim.now();
+  return BusyIntegral;
+}
+
+void Machine::setBusyCount(unsigned N) {
+  busyCoreTime(); // settle the integral at the old count
+  BusyCount = N;
+  if (OnBusyCountChange)
+    OnBusyCountChange(N);
+}
+
+void Machine::wake(SimThread *T) {
+  if (T->State != ThreadState::Blocked)
+    return; // already woken through another waitable
+  T->State = ThreadState::Ready;
+  ReadyQueue.push_back(T);
+  dispatch();
+}
+
+void Machine::dispatch() {
+  if (InDispatch) {
+    DispatchPending = true;
+    return;
+  }
+  InDispatch = true;
+  do {
+    DispatchPending = false;
+    tryAssign();
+  } while (DispatchPending);
+  InDispatch = false;
+}
+
+void Machine::tryAssign() {
+  while (!ReadyQueue.empty()) {
+    // Gang reservations keep some idle cores unavailable.
+    if (BusyCount >= Cores.size())
+      return;
+    // Find a free core, preferring the one the thread last ran on so that
+    // a thread running alone never pays switch costs.
+    SimThread *T = ReadyQueue.front();
+    int Free = -1;
+    for (unsigned I = 0; I < Cores.size(); ++I) {
+      if (Cores[I].Running)
+        continue;
+      if (Cores[I].LastThread == T) {
+        Free = static_cast<int>(I);
+        break;
+      }
+      if (Free < 0)
+        Free = static_cast<int>(I);
+    }
+    if (Free < 0)
+      return; // all cores busy
+    ReadyQueue.pop_front();
+    startSlice(static_cast<unsigned>(Free), T);
+  }
+}
+
+void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
+  Core &C = Cores[CoreIdx];
+  assert(!C.Running && "core already busy");
+  assert(T->State == ThreadState::Ready && "thread not ready");
+
+  // A gang compute that previously failed to reserve helpers is retried
+  // before asking the body for anything new.
+  if (T->PendingGang > 0 && T->RemainingBurst == 0) {
+    if (!tryReserveGang(T, T->PendingGang, T->PendingGangCycles))
+      return;
+    T->PendingGang = 0;
+  }
+
+  // If the previous burst is exhausted, ask the body for the next action.
+  // Zero-cost computes are folded into the loop; a livelock guard catches
+  // bodies that spin without consuming time.
+  unsigned Spins = 0;
+  while (T->RemainingBurst == 0) {
+    Action A = T->Body->resume(*this, *T);
+    switch (A.K) {
+    case Action::Kind::Compute:
+      if (A.Gang > 1) {
+        if (!tryReserveGang(T, A.Gang, A.Cycles)) {
+          T->PendingGang = A.Gang;
+          T->PendingGangCycles = A.Cycles;
+          return;
+        }
+      } else {
+        T->RemainingBurst = A.Cycles;
+      }
+      if (A.Cycles == 0 && ++Spins > 1000000)
+        assert(false && "thread body livelock: endless zero-cost computes");
+      break;
+    case Action::Kind::Block:
+      assert(A.W && "block action requires a waitable");
+      T->State = ThreadState::Blocked;
+      // A thread may sit in several waiter lists; wake() is idempotent and
+      // stale entries are discarded when their waitable next notifies.
+      A.W->Waiters.push_back(T);
+      if (A.W2)
+        A.W2->Waiters.push_back(T);
+      return; // core stays free; caller keeps assigning
+    case Action::Kind::Finish:
+      T->State = ThreadState::Finished;
+      assert(AliveCount > 0);
+      --AliveCount;
+      T->ExitEvent.notifyAll();
+      return;
+    }
+  }
+
+  T->State = ThreadState::Running;
+  T->CoreIdx = static_cast<int>(CoreIdx);
+  C.Running = T;
+  setBusyCount(BusyCount + 1);
+
+  SimTime Overhead = (C.LastThread && C.LastThread != T)
+                         ? Cfg.CtxSwitchCost + Cfg.CacheRefillCost
+                         : 0;
+  SimTime SliceLen = std::min(T->RemainingBurst, Cfg.Quantum);
+  Sim.schedule(Overhead + SliceLen,
+               [this, CoreIdx, T, SliceLen] { endSlice(CoreIdx, T, SliceLen); });
+}
+
+/// Reserves Gang-1 helper cores and arms the burst, or blocks the thread
+/// on GangAvail. Returns true on success.
+bool Machine::tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles) {
+  assert(Gang <= Cores.size() && "gang larger than the machine");
+  assert(Cycles > 0 && "gang computes must consume time");
+  if (BusyCount + Gang > Cores.size()) {
+    T->State = ThreadState::Blocked;
+    GangAvail.Waiters.push_back(T);
+    return false;
+  }
+  Reserved += Gang - 1;
+  T->GangHold = Gang - 1;
+  setBusyCount(BusyCount + (Gang - 1));
+  T->RemainingBurst = Cycles;
+  return true;
+}
+
+void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen) {
+  Core &C = Cores[CoreIdx];
+  assert(C.Running == T && "slice ended on wrong core");
+  C.Running = nullptr;
+  C.LastThread = T;
+  setBusyCount(BusyCount - 1);
+  // Any freed capacity may unblock a waiting gang.
+  if (GangAvail.hasWaiters())
+    GangAvail.notifyAll();
+
+  assert(T->RemainingBurst >= SliceLen);
+  T->RemainingBurst -= SliceLen;
+  T->BusyTime += SliceLen * (1 + T->GangHold);
+  if (T->RemainingBurst == 0 && T->GangHold > 0) {
+    assert(Reserved >= T->GangHold);
+    Reserved -= T->GangHold;
+    setBusyCount(BusyCount - T->GangHold);
+    T->GangHold = 0;
+    GangAvail.notifyAll();
+  }
+  T->State = ThreadState::Ready;
+  T->CoreIdx = -1;
+  ReadyQueue.push_back(T);
+  dispatch();
+}

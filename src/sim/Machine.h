@@ -1,0 +1,214 @@
+//===- Machine.h - Simulated multicore machine ------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated shared-memory multicore: N cores, cooperative threads, an
+/// OS-style ready queue with quantum-based time slicing and context-switch
+/// costs. This substitutes for the paper's 8-core Xeon E5310 and 24-core
+/// Xeon X7460 evaluation machines (the host container has a single CPU, so
+/// real threads cannot express parallelism).
+///
+/// Threads are written as explicit state machines: a ThreadBody's resume()
+/// is called whenever the thread holds a core and has finished its previous
+/// action, and returns the next action — compute for some cycles, block on
+/// a Waitable, or finish. Blocking is poll-style: a woken thread must
+/// re-check its condition, so spurious wakeups are harmless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_MACHINE_H
+#define PARCAE_SIM_MACHINE_H
+
+#include "sim/Simulator.h"
+#include "sim/Time.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parcae::sim {
+
+class Machine;
+class SimThread;
+
+/// A condition threads can block on. Wakeups are level-triggered from the
+/// thread's point of view: the woken body re-checks its condition and may
+/// block again.
+class Waitable {
+public:
+  Waitable() = default;
+  Waitable(const Waitable &) = delete;
+  Waitable &operator=(const Waitable &) = delete;
+
+  /// Wakes every waiting thread.
+  void notifyAll();
+  /// Wakes the longest-waiting thread, if any.
+  void notifyOne();
+  bool hasWaiters() const { return !Waiters.empty(); }
+
+private:
+  friend class Machine;
+  std::vector<SimThread *> Waiters;
+};
+
+/// What a thread does next, as reported by ThreadBody::resume().
+struct Action {
+  enum class Kind { Compute, Block, Finish };
+  Kind K;
+  SimTime Cycles = 0;
+  Waitable *W = nullptr;
+  /// Optional second wakeup source (e.g. "new work OR pause signal").
+  Waitable *W2 = nullptr;
+  /// Cores this compute occupies (a gang: the thread's own core plus
+  /// Gang-1 reserved helpers, modelling an inner thread team).
+  unsigned Gang = 1;
+
+  static Action compute(SimTime Cycles) {
+    return Action{Kind::Compute, Cycles, nullptr, nullptr, 1};
+  }
+  /// Occupies \p Cores cores for \p Cycles; blocks until that many cores
+  /// are simultaneously available.
+  static Action gangCompute(unsigned Cores, SimTime Cycles) {
+    return Action{Kind::Compute, Cycles, nullptr, nullptr, Cores};
+  }
+  static Action block(Waitable &W) {
+    return Action{Kind::Block, 0, &W, nullptr, 1};
+  }
+  static Action blockAny(Waitable &W, Waitable &W2) {
+    return Action{Kind::Block, 0, &W, &W2, 1};
+  }
+  static Action finish() {
+    return Action{Kind::Finish, 0, nullptr, nullptr, 1};
+  }
+};
+
+/// The behaviour of a simulated thread.
+class ThreadBody {
+public:
+  virtual ~ThreadBody();
+  /// Called when the thread holds a core and its previous action completed.
+  /// Returns the next action.
+  virtual Action resume(Machine &M, SimThread &T) = 0;
+};
+
+enum class ThreadState { Ready, Running, Blocked, Finished };
+
+/// One simulated software thread.
+class SimThread {
+public:
+  const std::string &name() const { return Name; }
+  std::uint64_t id() const { return Id; }
+  ThreadState state() const { return State; }
+  Machine &machine() const { return *M; }
+  /// Signalled (notifyAll) when the thread finishes.
+  Waitable &exitEvent() { return ExitEvent; }
+  /// Total compute time the thread has accumulated (excludes switch costs).
+  SimTime busyTime() const { return BusyTime; }
+
+private:
+  friend class Machine;
+  friend class Waitable;
+  SimThread(Machine &M, std::uint64_t Id, std::string Name,
+            std::unique_ptr<ThreadBody> Body)
+      : M(&M), Id(Id), Name(std::move(Name)), Body(std::move(Body)) {}
+
+  Machine *M;
+  std::uint64_t Id;
+  std::string Name;
+  std::unique_ptr<ThreadBody> Body;
+  Waitable ExitEvent;
+  ThreadState State = ThreadState::Ready;
+  SimTime RemainingBurst = 0;
+  SimTime BusyTime = 0;
+  int CoreIdx = -1;
+  unsigned GangHold = 0; ///< helper cores reserved for the current burst
+  // A gang compute that could not reserve its helpers yet; retried when
+  // the thread next gets a core (resume() must not be re-invoked).
+  unsigned PendingGang = 0;
+  SimTime PendingGangCycles = 0;
+};
+
+/// Costs of the simulated OS scheduler.
+struct MachineConfig {
+  /// Scheduling quantum; slices never exceed this.
+  SimTime Quantum = 4 * MSec;
+  /// Core-occupancy cost paid when a core switches to a different thread.
+  SimTime CtxSwitchCost = 5 * USec;
+  /// Additional core-occupancy cost on a switch, modelling the incoming
+  /// thread's cold-cache refill. Application-dependent: near zero for
+  /// compute-bound code, multiple milliseconds for memory-bound code
+  /// whose working set exceeds its cache share under oversubscription
+  /// (how dedup loses throughput under OS load balancing, Table 8.5).
+  SimTime CacheRefillCost = 0;
+};
+
+/// The simulated multicore machine.
+class Machine {
+public:
+  Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg = {});
+  ~Machine();
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  Simulator &sim() { return Sim; }
+  unsigned numCores() const { return static_cast<unsigned>(Cores.size()); }
+
+  /// Creates a thread; it becomes ready immediately. The machine owns it.
+  SimThread *spawn(std::string Name, std::unique_ptr<ThreadBody> Body);
+
+  /// Number of cores currently occupied (running a slice or reserved as
+  /// gang helpers).
+  unsigned busyCores() const { return BusyCount; }
+
+  /// Integral over time of the number of busy cores (core-nanoseconds).
+  SimTime busyCoreTime() const;
+
+  /// Number of spawned threads that have not finished.
+  unsigned threadsAlive() const { return AliveCount; }
+
+  /// Invoked whenever the number of busy cores changes; used by the power
+  /// meter. Receives the *previous* count's end time implicitly via now().
+  std::function<void(unsigned NewBusyCount)> OnBusyCountChange;
+
+private:
+  friend class Waitable;
+
+  struct Core {
+    SimThread *Running = nullptr;
+    SimThread *LastThread = nullptr;
+  };
+
+  void wake(SimThread *T);
+  void dispatch();
+  void tryAssign();
+  void startSlice(unsigned CoreIdx, SimThread *T);
+  bool tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles);
+  void endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen);
+  void setBusyCount(unsigned N);
+
+  Simulator &Sim;
+  MachineConfig Cfg;
+  std::vector<Core> Cores;
+  std::deque<SimThread *> ReadyQueue;
+  std::vector<std::unique_ptr<SimThread>> Threads;
+  unsigned BusyCount = 0;    ///< occupied cores: running + gang-reserved
+  unsigned Reserved = 0;     ///< gang helper cores currently reserved
+  Waitable GangAvail;        ///< signalled when occupied cores decrease
+  unsigned AliveCount = 0;
+  bool InDispatch = false;
+  bool DispatchPending = false;
+  // Busy-core-time integral bookkeeping.
+  mutable SimTime BusyIntegral = 0;
+  mutable SimTime BusyIntegralLast = 0;
+};
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_MACHINE_H

@@ -1,0 +1,47 @@
+//===- Simulator.cpp - Discrete-event simulation core ----------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+using namespace parcae::sim;
+
+void Simulator::scheduleAt(SimTime At, std::function<void()> Fn) {
+  assert(At >= Now && "cannot schedule an event in the past");
+  Queue.push(Event{At, NextSeq++, std::move(Fn)});
+}
+
+bool Simulator::runOne() {
+  if (Queue.empty())
+    return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately afterwards.
+  Event E = std::move(const_cast<Event &>(Queue.top()));
+  Queue.pop();
+  assert(E.At >= Now && "event queue went backwards");
+  if (E.At == Now) {
+    // Guard against model bugs that spin forever at one virtual instant.
+    assert(++SameTimeCount < 20000000 &&
+           "event livelock: unbounded events at a single timestamp");
+  } else {
+    SameTimeCount = 0;
+  }
+  Now = E.At;
+  ++EventsProcessed;
+  E.Fn();
+  return true;
+}
+
+void Simulator::run() {
+  Stopped = false;
+  while (!Stopped && runOne())
+    ;
+}
+
+void Simulator::runUntil(SimTime Deadline) {
+  Stopped = false;
+  while (!Stopped && !Queue.empty() && Queue.top().At <= Deadline)
+    runOne();
+  if (Now < Deadline)
+    Now = Deadline;
+}

@@ -1,0 +1,83 @@
+//===- Simulator.h - Discrete-event simulation core -------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event core: a virtual clock and an ordered event queue.
+/// Everything above it (cores, threads, channels, Morta's controller
+/// timers) is driven by events scheduled here. Events at the same virtual
+/// time fire in schedule order, so whole-system runs are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_SIMULATOR_H
+#define PARCAE_SIM_SIMULATOR_H
+
+#include "sim/Time.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace parcae::sim {
+
+/// Discrete-event simulator: a clock plus a priority queue of callbacks.
+class Simulator {
+public:
+  /// Current virtual time.
+  SimTime now() const { return Now; }
+
+  /// Schedules \p Fn to run \p Delay after the current time.
+  void schedule(SimTime Delay, std::function<void()> Fn) {
+    scheduleAt(Now + Delay, std::move(Fn));
+  }
+
+  /// Schedules \p Fn at absolute time \p At (>= now()).
+  void scheduleAt(SimTime At, std::function<void()> Fn);
+
+  /// Runs the next event, if any. Returns false when the queue is empty.
+  bool runOne();
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs events with timestamps <= \p Deadline; leaves later events queued
+  /// and advances the clock to \p Deadline.
+  void runUntil(SimTime Deadline);
+
+  /// Makes run() return after the current event.
+  void stop() { Stopped = true; }
+
+  /// Total number of events executed (sanity metric for tests).
+  std::uint64_t eventsProcessed() const { return EventsProcessed; }
+
+  bool empty() const { return Queue.empty(); }
+
+private:
+  struct Event {
+    SimTime At;
+    std::uint64_t Seq;
+    std::function<void()> Fn;
+  };
+  struct EventLater {
+    bool operator()(const Event &A, const Event &B) const {
+      if (A.At != B.At)
+        return A.At > B.At;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  SimTime Now = 0;
+  std::uint64_t SameTimeCount = 0;
+  std::uint64_t NextSeq = 0;
+  std::uint64_t EventsProcessed = 0;
+  bool Stopped = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> Queue;
+};
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_SIMULATOR_H

@@ -1,0 +1,39 @@
+//===- Time.h - Virtual time for the multicore simulator -------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Virtual-time definitions. The simulator models a nominal 1 GHz core, so
+/// one cycle equals one nanosecond and all costs are expressed in the same
+/// unit the paper's rdtsc-based hooks measure in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_TIME_H
+#define PARCAE_SIM_TIME_H
+
+#include <cstdint>
+
+namespace parcae::sim {
+
+/// Virtual time in nanoseconds (equivalently, cycles at 1 GHz).
+using SimTime = std::uint64_t;
+
+constexpr SimTime NSec = 1;
+constexpr SimTime USec = 1000 * NSec;
+constexpr SimTime MSec = 1000 * USec;
+constexpr SimTime Sec = 1000 * MSec;
+
+/// Converts virtual time to seconds as a double (for reporting).
+inline double toSeconds(SimTime T) { return static_cast<double>(T) / 1e9; }
+
+/// Converts seconds to virtual time.
+inline SimTime fromSeconds(double S) {
+  return static_cast<SimTime>(S * 1e9 + 0.5);
+}
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_TIME_H

@@ -1,0 +1,19 @@
+//===- Rng.cpp - Deterministic pseudo-random number generation -----------===//
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace parcae;
+
+double Rng::nextNormal(double Mean, double Stddev) {
+  assert(Stddev >= 0 && "stddev must be non-negative");
+  double U1 = nextReal();
+  double U2 = nextReal();
+  if (U1 <= 0)
+    U1 = 0x1.0p-53;
+  double Z = std::sqrt(-2.0 * std::log(U1)) *
+             std::cos(2.0 * 3.14159265358979323846 * U2);
+  double V = Mean + Stddev * Z;
+  return std::clamp(V, Mean - 4 * Stddev, Mean + 4 * Stddev);
+}

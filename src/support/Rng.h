@@ -1,0 +1,95 @@
+//===- Rng.h - Deterministic pseudo-random number generation ---*- C++ -*-===//
+//
+// Part of the Parcae reproduction. Deterministic PRNG used everywhere so
+// every experiment and test is exactly reproducible from its seed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic random number generator (splitmix64 core)
+/// with the distributions the workload generators need: uniform integers,
+/// uniform reals, exponential inter-arrival times (Poisson processes), and
+/// truncated normal work-size jitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SUPPORT_RNG_H
+#define PARCAE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace parcae {
+
+/// Deterministic pseudo-random number generator.
+///
+/// The core is splitmix64, which passes BigCrush, needs only 64 bits of
+/// state, and is trivially seedable. Streams with different seeds are
+/// statistically independent for our purposes.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow() requires a positive bound");
+    // Modulo bias is negligible for Bound << 2^64, which always holds here.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform integer in the inclusive range [Lo, Hi].
+  std::int64_t nextInRange(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "nextInRange() requires Lo <= Hi");
+    return Lo + static_cast<std::int64_t>(
+                    nextBelow(static_cast<std::uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform real in [0, 1).
+  double nextReal() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform real in [Lo, Hi).
+  double nextRealInRange(double Lo, double Hi) {
+    assert(Lo <= Hi && "nextRealInRange() requires Lo <= Hi");
+    return Lo + (Hi - Lo) * nextReal();
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextReal() < P; }
+
+  /// Returns an exponentially distributed real with the given \p Mean.
+  ///
+  /// Inter-arrival times drawn from this distribution produce a Poisson
+  /// arrival process, which is how the paper's load generator simulates
+  /// user requests (Chapter 8).
+  double nextExponential(double Mean) {
+    assert(Mean > 0 && "exponential mean must be positive");
+    double U = nextReal();
+    // Guard against log(0).
+    if (U <= 0)
+      U = 0x1.0p-53;
+    return -Mean * std::log(U);
+  }
+
+  /// Returns a normally distributed real (Box-Muller), clamped to
+  /// [Mean - 4*Stddev, Mean + 4*Stddev] so work sizes stay bounded.
+  double nextNormal(double Mean, double Stddev);
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace parcae
+
+#endif // PARCAE_SUPPORT_RNG_H

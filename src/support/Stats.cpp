@@ -1,0 +1,49 @@
+//===- Stats.cpp - Online and windowed statistics -------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace parcae;
+
+void OnlineStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double SampleSet::percentile(double P) const {
+  if (Samples.empty())
+    return 0.0;
+  assert(P >= 0 && P <= 100 && "percentile must be in [0, 100]");
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (P <= 0)
+    return Sorted.front();
+  std::size_t Rank = static_cast<std::size_t>(
+      std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}

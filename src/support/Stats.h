@@ -1,0 +1,93 @@
+//===- Stats.h - Online and windowed statistics -----------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics helpers used by Decima (moving-average task throughput), the
+/// mechanisms (smoothed load), and the benchmark harnesses (means and
+/// percentiles of response times).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SUPPORT_STATS_H
+#define PARCAE_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace parcae {
+
+/// Accumulates count/mean/min/max/variance in O(1) space (Welford).
+class OnlineStats {
+public:
+  void add(double X);
+
+  std::size_t count() const { return N; }
+  bool empty() const { return N == 0; }
+  double mean() const { return N ? Mean : 0.0; }
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+  /// Population variance; zero for fewer than two samples.
+  double variance() const { return N > 1 ? M2 / static_cast<double>(N) : 0.0; }
+  double stddev() const;
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  std::size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Exponentially weighted moving average, as used by the TBF and FDP
+/// mechanisms to smooth per-task throughput samples (Section 6.3).
+class MovingAverage {
+public:
+  /// \p Alpha is the weight of the newest sample, in (0, 1].
+  explicit MovingAverage(double Alpha = 0.25) : Alpha(Alpha) {
+    assert(Alpha > 0 && Alpha <= 1 && "alpha must be in (0, 1]");
+  }
+
+  void add(double X) {
+    if (!Seeded) {
+      Value = X;
+      Seeded = true;
+      return;
+    }
+    Value = Alpha * X + (1 - Alpha) * Value;
+  }
+
+  bool seeded() const { return Seeded; }
+  double value() const { return Seeded ? Value : 0.0; }
+  void reset() { Seeded = false; Value = 0.0; }
+
+private:
+  double Alpha;
+  double Value = 0.0;
+  bool Seeded = false;
+};
+
+/// Holds all samples; answers percentile queries. Used only by benchmark
+/// harnesses, where sample counts are small.
+class SampleSet {
+public:
+  void add(double X) { Samples.push_back(X); }
+  std::size_t count() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+  double mean() const;
+  /// Nearest-rank percentile; \p P in [0, 100].
+  double percentile(double P) const;
+  double min() const { return percentile(0); }
+  double max() const { return percentile(100); }
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace parcae
+
+#endif // PARCAE_SUPPORT_STATS_H

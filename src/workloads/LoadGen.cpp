@@ -1,0 +1,59 @@
+//===- LoadGen.cpp - Open-loop load generation and response stats ----------===//
+
+#include "workloads/LoadGen.h"
+
+using namespace parcae::rt;
+namespace sim = parcae::sim;
+
+PoissonLoadGen::PoissonLoadGen(sim::Simulator &Sim, QueueWorkSource &Queue,
+                               double ArrivalsPerSec, std::uint64_t Count,
+                               std::uint64_t Seed,
+                               std::function<void(Request &, Rng &)> MakeWork)
+    : Sim(Sim), Queue(Queue), MeanInterArrivalSec(1.0 / ArrivalsPerSec),
+      Count(Count), R(Seed), MakeWork(std::move(MakeWork)) {
+  assert(ArrivalsPerSec > 0 && "arrival rate must be positive");
+  assert(Count > 0 && "need at least one request");
+  Requests.reserve(Count);
+}
+
+void PoissonLoadGen::start() {
+  Sim.schedule(sim::fromSeconds(R.nextExponential(MeanInterArrivalSec)),
+               [this] { arrive(); });
+}
+
+void PoissonLoadGen::arrive() {
+  auto Req = std::make_shared<Request>();
+  Req->Id = Generated;
+  Req->EnqueueTime = Sim.now();
+  if (MakeWork)
+    MakeWork(*Req, R);
+  Requests.push_back(Req);
+
+  Token T;
+  T.Value = static_cast<std::int64_t>(Req->Id);
+  T.Work = Req->Work;
+  T.Ref = Req;
+  if (!Queue.push(std::move(T)))
+    ++Dropped;
+
+  if (++Generated >= Count) {
+    Queue.close();
+    return;
+  }
+  Sim.schedule(sim::fromSeconds(R.nextExponential(MeanInterArrivalSec)),
+               [this] { arrive(); });
+}
+
+ResponseStats ResponseStats::collect(
+    const std::vector<std::shared_ptr<Request>> &Requests) {
+  ResponseStats S;
+  for (const auto &R : Requests) {
+    if (!R->completed()) {
+      ++S.Pending;
+      continue;
+    }
+    ++S.Completed;
+    S.ResponseSec.add(sim::toSeconds(R->responseTime()));
+  }
+  return S;
+}

@@ -1,0 +1,194 @@
+//===- ApiTest.cpp - Chapter 5 API facade tests ------------------------------===//
+//
+// Tests the programmer-facing API of Chapter 5: task/descriptor
+// construction, pipeline lowering, the blocking launch, the functor's
+// task_complete contract, and the Figure 5.8 monitoring queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Api.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcae;
+using namespace parcae::api;
+namespace rt = parcae::rt;
+namespace sim = parcae::sim;
+
+namespace {
+
+struct ApiHarness {
+  sim::Simulator Sim;
+  sim::Machine M;
+  rt::RuntimeCosts Costs;
+  ApiHarness(unsigned Cores = 8) : M(Sim, Cores) {}
+};
+
+} // namespace
+
+TEST(ApiTest, PipelineLaunchRunsToCompletion) {
+  ApiHarness H;
+  std::uint64_t Written = 0;
+  Task Read("read",
+            [](Instance &I) {
+              I.begin();
+              I.compute(2000);
+              I.end();
+              I.output(static_cast<std::int64_t>(I.index()));
+              return task_iterating;
+            },
+            nullptr, TaskDescriptor(TaskType::SEQ));
+  Task Transform("transform",
+                 [](Instance &I) {
+                   I.begin();
+                   I.compute(30000);
+                   I.end();
+                   I.output(I.input() * 2);
+                   return task_iterating;
+                 },
+                 nullptr, TaskDescriptor(TaskType::PAR));
+  Task Write("write",
+             [&Written](Instance &I) {
+               I.compute(1500);
+               ++Written;
+               return task_iterating;
+             },
+             nullptr, TaskDescriptor(TaskType::SEQ));
+  ParDescriptor Pd({&Read, &Transform, &Write});
+
+  rt::CountedWorkSource Work(50000);
+  auto System = Parcae::create(H.M, H.Costs);
+  rt::RegionController &Ctrl = System->launch(Pd, Work);
+
+  EXPECT_EQ(Written, 50000u);
+  EXPECT_TRUE(System->runner().completed());
+  // The controller went parallel: the middle stage dominates.
+  EXPECT_GT(Ctrl.bestThroughput(), Ctrl.seqThroughput() * 2);
+  EXPECT_EQ(System->runner().config().S, rt::Scheme::PsDswp);
+  Parcae::destroy(std::move(System));
+}
+
+TEST(ApiTest, HeadTaskCompleteEndsStream) {
+  ApiHarness H;
+  Task Gen("gen",
+           [](Instance &I) {
+             I.compute(1000);
+             return I.index() + 1 >= 120 ? task_complete : task_iterating;
+           },
+           nullptr, TaskDescriptor(TaskType::PAR));
+  ParDescriptor Pd({&Gen});
+  rt::CountedWorkSource Work(1'000'000'000ull); // unbounded; functor ends it
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  EXPECT_TRUE(System->runner().completed());
+  EXPECT_EQ(System->runner().totalRetired(), 120u);
+}
+
+TEST(ApiTest, InitAndFiniCallbacksFire) {
+  ApiHarness H;
+  int Inits = 0, Finis = 0;
+  Task T("t",
+         [](Instance &I) {
+           I.compute(500);
+           return task_iterating;
+         },
+         nullptr, TaskDescriptor(TaskType::PAR), [&Inits] { ++Inits; },
+         [&Finis] { ++Finis; });
+  ParDescriptor Pd({&T});
+  rt::CountedWorkSource Work(100);
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  EXPECT_EQ(Inits, 1);
+  EXPECT_EQ(Finis, 1);
+}
+
+TEST(ApiTest, LoadCBIsUsedForTaskLoad) {
+  ApiHarness H;
+  double FakeLoad = 42.5;
+  Task T("t",
+         [](Instance &I) {
+           I.compute(500);
+           return task_iterating;
+         },
+         [&FakeLoad] { return FakeLoad; }, TaskDescriptor(TaskType::PAR));
+  ParDescriptor Pd({&T});
+  rt::CountedWorkSource Work(200);
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  EXPECT_DOUBLE_EQ(System->getLoad(&T), 42.5);
+}
+
+TEST(ApiTest, GetExecTimeReflectsFunctorCost) {
+  ApiHarness H;
+  Task T("t",
+         [](Instance &I) {
+           I.begin();
+           I.compute(7777);
+           I.end();
+           return task_iterating;
+         },
+         nullptr, TaskDescriptor(TaskType::PAR));
+  ParDescriptor Pd({&T});
+  rt::CountedWorkSource Work(500);
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  EXPECT_NEAR(System->getExecTime(&T), 7777.0, 1.0);
+}
+
+TEST(ApiTest, PlatformFeatureRegistry) {
+  ApiHarness H;
+  auto System = Parcae::create(H.M, H.Costs);
+  double Power = 640.0;
+  System->registerCB("SystemPower", [&Power] { return Power; });
+  EXPECT_DOUBLE_EQ(System->getValue("SystemPower"), 640.0);
+  Power = 700.0;
+  EXPECT_DOUBLE_EQ(System->getValue("SystemPower"), 700.0);
+}
+
+TEST(ApiTest, CriticalSectionsThroughTheApi) {
+  ApiHarness H;
+  Task T("hash",
+         [](Instance &I) {
+           I.compute(2000);
+           I.critical(/*LockId=*/3, /*Cycles=*/5000);
+           return task_iterating;
+         },
+         nullptr, TaskDescriptor(TaskType::PAR));
+  ParDescriptor Pd({&T});
+  rt::CountedWorkSource Work(200);
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  // The 5000-cycle critical section serializes the 200 instances.
+  EXPECT_GE(H.Sim.now(), 200u * 5000u);
+}
+
+TEST(ApiTest, SingleSeqTaskStaysSequential) {
+  ApiHarness H;
+  Task T("only",
+         [](Instance &I) {
+           I.compute(900);
+           return task_iterating;
+         },
+         nullptr, TaskDescriptor(TaskType::SEQ));
+  ParDescriptor Pd({&T});
+  rt::CountedWorkSource Work(300);
+  auto System = Parcae::create(H.M, H.Costs);
+  System->launch(Pd, Work);
+  EXPECT_TRUE(System->runner().completed());
+  EXPECT_EQ(System->runner().config().S, rt::Scheme::Seq);
+}
+
+TEST(ApiTest, NestedDescriptorIsRecorded) {
+  // Nested parallelism is declared through TaskDescriptor's descriptor
+  // list (Figure 5.5); the declaration must round-trip.
+  Task Inner("inner",
+             [](Instance &I) {
+               I.compute(1);
+               return task_iterating;
+             },
+             nullptr, TaskDescriptor(TaskType::PAR));
+  ParDescriptor InnerPd({&Inner});
+  TaskDescriptor Outer(TaskType::PAR, &InnerPd);
+  EXPECT_EQ(Outer.Pd.size(), 1u);
+  EXPECT_EQ(Outer.Pd[0]->Tasks.size(), 1u);
+}

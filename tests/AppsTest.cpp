@@ -1,0 +1,151 @@
+//===- AppsTest.cpp - Application model tests -------------------------------===//
+//
+// Tests that the application models reproduce the qualitative
+// characteristics the paper's evaluation depends on: the x264 inner
+// speedup of ~6.3x at DoP 8, bzip's profitability floor at DoP 4, the
+// latency/throughput crossover of Figure 2.4, and the pipeline apps'
+// stage imbalance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/LaneApps.h"
+#include "apps/PipelineApps.h"
+#include "mechanisms/LaneMechanisms.h"
+#include "workloads/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcae;
+using namespace parcae::rt;
+
+TEST(InnerScalability, X264SpeedupCurve) {
+  InnerScalability S = x264Params().Scal;
+  EXPECT_DOUBLE_EQ(S.speedup(1), 1.0);
+  EXPECT_NEAR(S.speedup(8), 6.3, 0.25); // Section 2.3: up to 6.3x at 8
+  EXPECT_GT(S.speedup(4), 3.0);
+  // Beyond the knee, more threads do not help.
+  EXPECT_LE(S.speedup(12), S.speedup(8));
+  EXPECT_EQ(S.dPmax(), 8u);
+}
+
+TEST(InnerScalability, BzipNeedsFourThreads) {
+  InnerScalability S = bzipParams().Scal;
+  EXPECT_LT(S.speedup(2), 1.0);
+  EXPECT_LT(S.speedup(3), 1.0);
+  EXPECT_GT(S.speedup(4), 1.0); // the paper's dPmin = 4
+  EXPECT_EQ(S.dPmin(), 4u);
+}
+
+TEST(InnerScalability, MonotoneUpToKnee) {
+  for (const LaneAppParams &P :
+       {x264Params(), swaptionsParams(), oilifyParams()}) {
+    double Prev = 1.0;
+    for (unsigned L = 2; L <= P.Scal.Knee; ++L) {
+      EXPECT_GE(P.Scal.speedup(L), Prev) << P.Name << " at L=" << L;
+      Prev = P.Scal.speedup(L);
+    }
+  }
+}
+
+TEST(LaneApp, ExecTimeMatchesSpeedup) {
+  LaneAppParams P = x264Params();
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 24);
+  RuntimeCosts Costs;
+  QueueWorkSource Q;
+  LaneServerApp App(M, Costs, P, Q);
+  EXPECT_EQ(App.execTime(1), P.MeanWork);
+  EXPECT_NEAR(static_cast<double>(App.execTime(8)),
+              static_cast<double>(P.MeanWork) / 6.3,
+              0.05 * static_cast<double>(P.MeanWork));
+}
+
+TEST(LaneApp, LightLoadLatencyFavorsInnerParallelism) {
+  // Figure 2.4(c), left side: at load 0.2 the <3,8> configuration yields
+  // far lower response time than <24,SEQ>.
+  LaneAppParams P = x264Params();
+  StaticLane SeqOuter({24, false, 1});
+  StaticLane InnerPar({3, true, 8});
+  ServerRunResult A =
+      runLaneExperiment(P, SeqOuter, 24, 0.2, /*Requests=*/150);
+  ServerRunResult B =
+      runLaneExperiment(P, InnerPar, 24, 0.2, /*Requests=*/150);
+  EXPECT_GT(A.MeanResponseSec, B.MeanResponseSec * 2);
+}
+
+TEST(LaneApp, HeavyLoadThroughputFavorsOuterOnly) {
+  // Figure 2.4(b,c), right side: at load 1.1 the outer-only configuration
+  // sustains higher throughput, so its response time blows up less.
+  LaneAppParams P = x264Params();
+  StaticLane SeqOuter({24, false, 1});
+  StaticLane InnerPar({3, true, 8});
+  ServerRunResult A =
+      runLaneExperiment(P, SeqOuter, 24, 1.1, /*Requests=*/200);
+  ServerRunResult B =
+      runLaneExperiment(P, InnerPar, 24, 1.1, /*Requests=*/200);
+  EXPECT_GT(A.ThroughputPerSec, B.ThroughputPerSec);
+  EXPECT_LT(A.MeanResponseSec, B.MeanResponseSec);
+}
+
+TEST(LaneApp, CompletesAllRequests) {
+  LaneAppParams P = swaptionsParams();
+  StaticLane S({24, false, 1});
+  ServerRunResult R = runLaneExperiment(P, S, 24, 0.8, 120);
+  EXPECT_EQ(R.Resp.Completed, 120u);
+  EXPECT_EQ(R.Resp.Pending, 0u);
+}
+
+TEST(PipelineApp, FerretShape) {
+  PipelineApp App = makeFerret();
+  EXPECT_EQ(App.numStages(), 6u);
+  EXPECT_TRUE(App.Region.hasVariant(Scheme::PsDswp));
+  EXPECT_TRUE(App.Region.hasVariant(Scheme::Fused));
+  const RegionDesc &V = App.Region.variant(Scheme::PsDswp);
+  EXPECT_EQ(V.Tasks.front().type(), TaskType::Seq);
+  EXPECT_EQ(V.Tasks.back().type(), TaskType::Seq);
+  EXPECT_EQ(V.Links.size(), 5u);
+}
+
+TEST(PipelineApp, StaticRunCompletesInOrder) {
+  PipelineRunSpec Spec;
+  Spec.Requests = 300;
+  Spec.Initial = evenConfig(makeFerret(), Scheme::PsDswp, 5);
+  PipelineRunResult R = runPipelineExperiment(makeFerret, Spec);
+  EXPECT_EQ(R.Server.Resp.Completed, 300u);
+  EXPECT_GT(R.Server.ThroughputPerSec, 0.0);
+}
+
+TEST(PipelineApp, FusedVariantMatchesWork) {
+  // Fused and split pipelines must do the same per-request work, so at
+  // saturation with ample threads the fused throughput is within ~2x
+  // (channel overheads aside) of the split pipeline's.
+  PipelineRunSpec Split;
+  Split.Requests = 400;
+  Split.Initial = evenConfig(makeFerret(), Scheme::PsDswp, 5);
+  PipelineRunResult A = runPipelineExperiment(makeFerret, Split);
+
+  PipelineRunSpec Fused;
+  Fused.Requests = 400;
+  Fused.Initial.S = Scheme::Fused;
+  Fused.Initial.DoP = {1, 22, 1};
+  PipelineRunResult B = runPipelineExperiment(makeFerret, Fused);
+
+  EXPECT_EQ(B.Server.Resp.Completed, 400u);
+  // The fused configuration dedicates all 22 threads to the whole body,
+  // beating the even split.
+  EXPECT_GT(B.Server.ThroughputPerSec, A.Server.ThroughputPerSec);
+}
+
+TEST(PipelineApp, DedupCriticalSectionPresent) {
+  PipelineApp App = makeDedup();
+  bool HasCrit = false;
+  for (const StageParams &S : App.Stages)
+    HasCrit |= S.CritCost > 0;
+  EXPECT_TRUE(HasCrit);
+}
+
+TEST(Experiment, LaneMaxThroughputDefinition) {
+  LaneAppParams P = x264Params();
+  // 24 cores, 25 s sequential work: 0.96 requests per second.
+  EXPECT_NEAR(laneMaxThroughput(P, 24), 24.0 / 25.0, 1e-9);
+}

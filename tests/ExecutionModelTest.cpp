@@ -1,0 +1,223 @@
+//===- ExecutionModelTest.cpp - The Figure 3.1 execution model ---------------===//
+//
+// Integration tests of the Chapter 3 execution model and the remaining
+// runtime surfaces: the Figure 3.1 scenario (P1 runs PS-DSWP on the whole
+// machine; P2 launches; P1 pauses at a consistent state and resumes with
+// a two-thread DOANY while P2 runs alongside), Decima's monitor
+// utilities, and RegionRunner's transition bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decima/Monitor.h"
+#include "morta/Controller.h"
+#include "morta/Platform.h"
+#include "morta/RegionRunner.h"
+#include "nona/Programs.h"
+#include "nona/Run.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcae;
+using namespace parcae::rt;
+namespace ir = parcae::ir;
+
+namespace {
+
+/// P1 of Figure 3.1: a region with both a PS-DSWP pipeline (tasks A, B,
+/// C) and a DOANY variant (tasks K/L collapsed into one).
+FlexibleRegion makeP1() {
+  FlexibleRegion R("P1");
+  {
+    RegionDesc D;
+    D.Name = "p1-pipe";
+    D.S = Scheme::PsDswp;
+    D.Tasks.emplace_back("A", TaskType::Seq, [](IterationContext &C) {
+      C.Cost = 2000;
+      C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+    });
+    D.Tasks.emplace_back("B", TaskType::Par, [](IterationContext &C) {
+      C.Cost = 24000;
+      C.Out[0].Value = C.In[0].Value;
+    });
+    D.Tasks.emplace_back("C", TaskType::Seq,
+                         [](IterationContext &C) { C.Cost = 1500; });
+    D.Links.push_back({0, 1});
+    D.Links.push_back({1, 2});
+    R.addVariant(std::move(D));
+  }
+  {
+    RegionDesc D;
+    D.Name = "p1-doany";
+    D.S = Scheme::DoAny;
+    D.Tasks.emplace_back("KL", TaskType::Par,
+                         [](IterationContext &C) { C.Cost = 27500; });
+    R.addVariant(std::move(D));
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(ExecutionModel, Figure31Scenario) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 5); // the hypothetical five-core machine
+  RuntimeCosts Costs;
+
+  // t0: P1 launches with a 5-thread PS-DSWP (A, B x3, C).
+  CountedWorkSource Src1(1'000'000'000ull);
+  FlexibleRegion P1 = makeP1();
+  RegionRunner Run1(M, Costs, P1, Src1);
+  RegionConfig C1;
+  C1.S = Scheme::PsDswp;
+  C1.DoP = {1, 3, 1};
+  Run1.start(C1);
+  Sim.runUntil(2 * sim::MSec);
+  std::uint64_t P1Before = Run1.totalRetired();
+  EXPECT_GT(P1Before, 50u);
+
+  // t1: P2 launches; Morta reallocates: P1 switches to a 2-thread DOANY,
+  // P2 gets 3 threads.
+  CountedWorkSource Src2(1'000'000'000ull);
+  FlexibleRegion P2("P2");
+  {
+    RegionDesc D;
+    D.Name = "p2-doany";
+    D.S = Scheme::DoAny;
+    D.Tasks.emplace_back("M", TaskType::Par,
+                         [](IterationContext &C) { C.Cost = 15000; });
+    P2.addVariant(std::move(D));
+  }
+  RegionRunner Run2(M, Costs, P2, Src2);
+  RegionConfig C2;
+  C2.S = Scheme::DoAny;
+  C2.DoP = {3};
+  RegionConfig P1New;
+  P1New.S = Scheme::DoAny;
+  P1New.DoP = {2};
+  Run1.reconfigure(P1New); // pause -> drain -> resume as DOANY
+  Run2.start(C2);
+  Sim.runUntil(8 * sim::MSec);
+
+  // Both programs made progress after the reallocation; P1 really
+  // switched schemes (one full pause), and the machine is shared 2 + 3.
+  EXPECT_EQ(Run1.config().S, Scheme::DoAny);
+  EXPECT_EQ(Run1.config().totalThreads(), 2u);
+  EXPECT_EQ(Run1.fullPauses(), 1u);
+  EXPECT_GT(Run1.totalRetired(), P1Before);
+  EXPECT_GT(Run2.totalRetired(), 100u);
+  EXPECT_LE(M.busyCores(), 5u);
+}
+
+TEST(ExecutionModel, TransitioningFlagCoversPauseWindow) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 5);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(1'000'000'000ull);
+  FlexibleRegion P1 = makeP1();
+  RegionRunner Run(M, Costs, P1, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Run.start(C);
+  Sim.runUntil(1 * sim::MSec);
+  RegionConfig N;
+  N.S = Scheme::DoAny;
+  N.DoP = {4};
+  bool Reconfigured = false;
+  Run.OnReconfigured = [&] { Reconfigured = true; };
+  EXPECT_TRUE(Run.reconfigure(N));
+  EXPECT_TRUE(Run.transitioning());
+  Sim.runUntil(3 * sim::MSec);
+  EXPECT_FALSE(Run.transitioning());
+  EXPECT_TRUE(Reconfigured);
+  EXPECT_EQ(Run.config(), N);
+}
+
+TEST(ExecutionModel, CoalescedRequestsResumeIntoNewestTarget) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(1'000'000'000ull);
+  FlexibleRegion P1 = makeP1();
+  RegionRunner Run(M, Costs, P1, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Run.start(C);
+  Sim.runUntil(1 * sim::MSec);
+  RegionConfig N1, N2;
+  N1.S = Scheme::DoAny;
+  N1.DoP = {2};
+  N2.S = Scheme::DoAny;
+  N2.DoP = {6};
+  Run.reconfigure(N1);
+  Run.reconfigure(N2); // overwrites the pending target mid-transition
+  Sim.runUntil(4 * sim::MSec);
+  EXPECT_EQ(Run.config(), N2);
+}
+
+TEST(DecimaTest, ExecTimeAndLoadQueries) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  RuntimeCosts Costs;
+  QueueWorkSource Src;
+  for (int I = 0; I < 32; ++I)
+    Src.push(Token{});
+  FlexibleRegion P1 = makeP1();
+  RegionRunner Run(M, Costs, P1, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 2, 1};
+  Run.start(C);
+  Sim.runUntil(2 * sim::MSec);
+  const RegionExec *E = Run.exec();
+  ASSERT_NE(E, nullptr);
+  // Stage B costs 24000 cycles per instance.
+  EXPECT_NEAR(Decima::getExecTime(*E, 1), 24000.0, 1.0);
+  // The head's load is the remaining queue occupancy.
+  EXPECT_GE(Decima::getLoad(*E, 0), 0.0);
+}
+
+TEST(DecimaTest, FeatureRegistry) {
+  Decima D;
+  EXPECT_FALSE(D.hasFeature("SystemPower"));
+  double W = 650;
+  D.registerFeature("SystemPower", [&W] { return W; });
+  ASSERT_TRUE(D.hasFeature("SystemPower"));
+  EXPECT_DOUBLE_EQ(D.getValue("SystemPower"), 650.0);
+  W = 700;
+  EXPECT_DOUBLE_EQ(D.getValue("SystemPower"), 700.0);
+}
+
+TEST(DecimaTest, ThroughputWindowRates) {
+  ThroughputWindow W;
+  W.mark(100, 1 * sim::Sec);
+  EXPECT_EQ(W.progress(150), 50u);
+  EXPECT_DOUBLE_EQ(W.rate(150, 2 * sim::Sec), 50.0);
+  // Counter reset (scheme switch) yields zero, not garbage.
+  EXPECT_EQ(W.progress(40), 0u);
+  EXPECT_DOUBLE_EQ(W.rate(40, 2 * sim::Sec), 0.0);
+}
+
+TEST(DecimaTest, CommTimeTracked) {
+  // Pipeline stages accumulate communication time separately from
+  // compute (Section 4.7: Decima distinguishes compute from waiting).
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(200);
+  FlexibleRegion P1 = makeP1();
+  RegionRunner Run(M, Costs, P1, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 2, 1};
+  Run.start(C);
+  Sim.run();
+  const RegionExec *E = Run.exec();
+  ASSERT_NE(E, nullptr);
+  // Head sends 200 tokens; tail receives 200.
+  EXPECT_EQ(E->stats(0).CommTime, 200u * Costs.CommSend);
+  EXPECT_EQ(E->stats(2).CommTime, 200u * Costs.CommRecv);
+  EXPECT_EQ(E->stats(1).CommTime,
+            200u * (Costs.CommSend + Costs.CommRecv));
+}

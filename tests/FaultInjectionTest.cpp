@@ -1,0 +1,292 @@
+//===- FaultInjectionTest.cpp - Edge cases and hostile schedules -------------===//
+//
+// Failure-injection and boundary tests for the flexible-execution
+// machinery: empty regions, pause storms, pause-before-first-iteration,
+// reconfiguration of completed regions, one-core machines, budget-1
+// controllers, closed-empty work queues, and the unoptimized (Chapter 7
+// switches off) protocol paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Region.h"
+#include "core/WorkSource.h"
+#include "morta/Controller.h"
+#include "morta/RegionRunner.h"
+#include "nona/Programs.h"
+#include "nona/Run.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcae;
+using namespace parcae::rt;
+namespace ir = parcae::ir;
+
+namespace {
+
+FlexibleRegion makeSPS(std::vector<std::int64_t> *Tail = nullptr) {
+  FlexibleRegion R("fault");
+  RegionDesc D;
+  D.Name = "fault-pipe";
+  D.S = Scheme::PsDswp;
+  D.Tasks.emplace_back("a", TaskType::Seq, [](IterationContext &C) {
+    C.Cost = 1000;
+    C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+  });
+  D.Tasks.emplace_back("b", TaskType::Par, [](IterationContext &C) {
+    C.Cost = 9000;
+    C.Out[0].Value = C.In[0].Value;
+  });
+  D.Tasks.emplace_back("c", TaskType::Seq, [Tail](IterationContext &C) {
+    C.Cost = 800;
+    if (Tail)
+      Tail->push_back(C.In[0].Value);
+  });
+  D.Links.push_back({0, 1});
+  D.Links.push_back({1, 2});
+  R.addVariant(std::move(D));
+  {
+    RegionDesc S;
+    S.Name = "fault-seq";
+    S.S = Scheme::Seq;
+    S.Tasks.emplace_back("all", TaskType::Seq, [Tail](IterationContext &C) {
+      C.Cost = 10800;
+      if (Tail)
+        Tail->push_back(static_cast<std::int64_t>(C.Seq));
+    });
+    R.addVariant(std::move(S));
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(FaultInjection, ZeroIterationRegionCompletesImmediately) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(0);
+  FlexibleRegion Region = makeSPS();
+  RegionRunner Runner(M, Costs, Region, Src);
+  Runner.start(Region.unitConfig(Scheme::Seq));
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(Runner.totalRetired(), 0u);
+}
+
+TEST(FaultInjection, ClosedEmptyQueueCompletes) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  RuntimeCosts Costs;
+  QueueWorkSource Src;
+  Src.close();
+  FlexibleRegion Region = makeSPS();
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Runner.start(C);
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(Runner.totalRetired(), 0u);
+}
+
+TEST(FaultInjection, PauseBeforeFirstIteration) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(100);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 4, 1};
+  Runner.start(C);
+  // Reconfigure at time zero, before any iteration ran.
+  RegionConfig N = C;
+  N.S = Scheme::Seq;
+  N.DoP = {1};
+  Runner.reconfigure(N);
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  ASSERT_EQ(Tail.size(), 100u);
+  for (std::int64_t I = 0; I < 100; ++I)
+    EXPECT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, ReconfigureStorm) {
+  // Coalesced, overlapping, and redundant reconfiguration requests must
+  // neither deadlock nor corrupt the iteration stream.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(400);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 2, 1};
+  Runner.start(C);
+  Rng R(99);
+  for (int K = 0; K < 200; ++K) {
+    bool SchemeSwitch = R.nextBool(0.3);
+    RegionConfig N;
+    if (SchemeSwitch) {
+      N.S = Scheme::Seq;
+      N.DoP = {1};
+    } else {
+      N.S = Scheme::PsDswp;
+      N.DoP = {1, 1 + static_cast<unsigned>(R.nextBelow(6)), 1};
+    }
+    Sim.schedule(static_cast<sim::SimTime>(K) * 37 * sim::USec,
+                 [&Runner, N = std::move(N)]() mutable {
+                   if (!Runner.completed())
+                     Runner.reconfigure(std::move(N));
+                 });
+  }
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  ASSERT_EQ(Tail.size(), 400u);
+  for (std::int64_t I = 0; I < 400; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, PauseAfterCompletionIsNoOp) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(10);
+  FlexibleRegion Region = makeSPS();
+  RegionRunner Runner(M, Costs, Region, Src);
+  Runner.start(Region.unitConfig(Scheme::Seq));
+  Sim.run();
+  ASSERT_TRUE(Runner.completed());
+  RegionConfig N;
+  N.S = Scheme::PsDswp;
+  N.DoP = {1, 4, 1};
+  EXPECT_FALSE(Runner.reconfigure(N));
+}
+
+TEST(FaultInjection, SingleCoreMachineStillCorrect) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 1);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(150);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  // A 6-thread pipeline on one core: pure time slicing.
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 4, 1};
+  Runner.start(C);
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  ASSERT_EQ(Tail.size(), 150u);
+  for (std::int64_t I = 0; I < 150; ++I)
+    EXPECT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, ControllerWithBudgetOne) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 2);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(1'000'000'000ull);
+  FlexibleRegion Region = makeSPS();
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Ctrl.start(1);
+  Sim.runUntil(100 * sim::MSec);
+  // With a single thread, nothing parallel is feasible; the controller
+  // must stay sequential and keep making progress.
+  EXPECT_EQ(Runner.config().totalThreads(), 1u);
+  EXPECT_GT(Runner.totalRetired(), 100u);
+}
+
+TEST(FaultInjection, UnoptimizedProtocolStillCorrect) {
+  // All Chapter 7 optimizations off: the full drain barrier and
+  // per-iteration data management must still preserve semantics.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  Costs.OptimizedDataManagement = false;
+  Costs.OptimizedBarrier = false;
+  Costs.OverlapReconfig = false;
+  Costs.PrivatizedReductions = false;
+  CountedWorkSource Src(2000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Runner.start(C);
+  for (int K = 1; K <= 8; ++K)
+    Sim.schedule(static_cast<sim::SimTime>(K) * 300 * sim::USec,
+                 [&Runner, K] {
+                   RegionConfig N;
+                   N.S = Scheme::PsDswp;
+                   N.DoP = {1, static_cast<unsigned>(1 + K % 5), 1};
+                   if (!Runner.completed())
+                     Runner.reconfigure(std::move(N));
+                 });
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GT(Runner.fullPauses(), 0u) << "unoptimized mode must drain";
+  ASSERT_EQ(Tail.size(), 2000u);
+  for (std::int64_t I = 0; I < 2000; ++I)
+    EXPECT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, ChaoticNonaRunsAcrossSuite) {
+  // Every benchmark survives a randomized reconfiguration schedule with
+  // bit-identical results (three seeds each).
+  auto Suite = ir::benchmarkSuite(200);
+  for (std::size_t B = 0; B < Suite.size(); ++B) {
+    ir::LoopProgram Ref = Suite[B]();
+    std::map<unsigned, std::int64_t> Reds;
+    ir::Memory RefMem =
+        ir::CompiledLoop::interpret(*Ref.F, Ref.TripCount, &Reds);
+    for (std::uint64_t Seed : {1ull, 2ull, 3ull}) {
+      ir::LoopProgram P = Suite[B]();
+      ir::CompiledLoop CL(*P.F, P.AA, P.TripCount);
+      ir::CompiledRunResult R = ir::runCompiledChaotic(CL, 8, Seed, 10);
+      EXPECT_TRUE(R.Completed) << P.Name << " seed " << Seed;
+      EXPECT_TRUE(CL.memory() == RefMem) << P.Name << " seed " << Seed;
+      for (unsigned Phi : P.ReductionPhis)
+        EXPECT_EQ(CL.reductionValue(Phi), Reds.at(Phi))
+            << P.Name << " seed " << Seed;
+    }
+  }
+}
+
+TEST(FaultInjection, WorkScaleChangeMidChaos) {
+  // Workload variation during reconfiguration chaos: costs change but
+  // semantics cannot.
+  ir::LoopProgram Ref = ir::makeSaxpy(300);
+  ir::Memory RefMem = ir::CompiledLoop::interpret(*Ref.F, Ref.TripCount);
+  ir::LoopProgram P = ir::makeSaxpy(300);
+  ir::CompiledLoop CL(*P.F, P.AA, P.TripCount);
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CL.resetState();
+  auto Src = CL.makeSource();
+  RegionRunner Runner(M, Costs, CL.region(), *Src);
+  RegionConfig C;
+  C.S = Scheme::DoAny;
+  C.DoP = {4};
+  Runner.start(C);
+  Sim.schedule(200 * sim::USec, [&CL] { CL.setWorkScale(5.0); });
+  Sim.schedule(400 * sim::USec, [&Runner] {
+    RegionConfig N;
+    N.S = Scheme::DoAny;
+    N.DoP = {7};
+    Runner.reconfigure(std::move(N));
+  });
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_TRUE(CL.memory() == RefMem);
+}

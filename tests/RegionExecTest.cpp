@@ -1,0 +1,341 @@
+//===- RegionExecTest.cpp - Flexible region execution tests ----------------===//
+//
+// End-to-end tests of the Morta worker protocol: Algorithm 2 execution,
+// the pause/drain protocol of Section 4.6, and the in-place DoP
+// reconfiguration of Section 7.2 — including the semantic guarantee that
+// sequential consumers observe iterations in order across DoP changes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Region.h"
+#include "core/WorkSource.h"
+#include "morta/RegionExec.h"
+#include "sim/Machine.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace parcae;
+using namespace parcae::rt;
+
+namespace {
+
+/// Builds a single-task region (SEQ or DOANY) whose iterations cost
+/// \p Cycles each and append their Seq to \p Order (tail observation).
+RegionDesc makeSingleTaskRegion(Scheme S, sim::SimTime Cycles,
+                                std::vector<std::uint64_t> *Order = nullptr) {
+  RegionDesc D;
+  D.Name = "single";
+  D.S = S;
+  TaskType T = S == Scheme::Seq ? TaskType::Seq : TaskType::Par;
+  D.Tasks.emplace_back("work", T, [Cycles, Order](IterationContext &Ctx) {
+    Ctx.Cost = Cycles;
+    if (Order)
+      Order->push_back(Ctx.Seq);
+  });
+  return D;
+}
+
+/// Builds a 3-stage S->P->S pipeline; the parallel middle stage costs
+/// \p MidCycles, the sequential ends \p EndCycles. The tail records the
+/// order in which it consumes iterations into \p TailOrder.
+RegionDesc makePipelineRegion(sim::SimTime MidCycles, sim::SimTime EndCycles,
+                              std::vector<std::int64_t> *TailOrder) {
+  RegionDesc D;
+  D.Name = "pipe";
+  D.S = Scheme::PsDswp;
+  D.Tasks.emplace_back("produce", TaskType::Seq,
+                       [EndCycles](IterationContext &Ctx) {
+                         Ctx.Cost = EndCycles;
+                         Ctx.Out[0].Value = static_cast<std::int64_t>(Ctx.Seq);
+                       });
+  D.Tasks.emplace_back("transform", TaskType::Par,
+                       [MidCycles](IterationContext &Ctx) {
+                         Ctx.Cost = MidCycles;
+                         Ctx.Out[0].Value = Ctx.In[0].Value * 2;
+                       });
+  D.Tasks.emplace_back("consume", TaskType::Seq,
+                       [EndCycles, TailOrder](IterationContext &Ctx) {
+                         Ctx.Cost = EndCycles;
+                         if (TailOrder)
+                           TailOrder->push_back(Ctx.In[0].Value);
+                       });
+  D.Links.push_back({0, 1});
+  D.Links.push_back({1, 2});
+  return D;
+}
+
+struct Harness {
+  sim::Simulator Sim;
+  sim::Machine M;
+  RuntimeCosts Costs;
+
+  explicit Harness(unsigned Cores) : M(Sim, Cores) {}
+};
+
+} // namespace
+
+TEST(RegionExec, SequentialRegionCompletes) {
+  Harness H(4);
+  CountedWorkSource Src(100);
+  std::vector<std::uint64_t> Order;
+  RegionDesc D = makeSingleTaskRegion(Scheme::Seq, 1000, &Order);
+  RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::Seq, {1}});
+  bool Done = false;
+  R.OnComplete = [&] { Done = true; };
+  R.start();
+  H.Sim.run();
+  EXPECT_TRUE(Done);
+  EXPECT_TRUE(R.completed());
+  EXPECT_EQ(R.iterationsRetired(), 100u);
+  ASSERT_EQ(Order.size(), 100u);
+  for (std::uint64_t I = 0; I < 100; ++I)
+    EXPECT_EQ(Order[I], I);
+  // At least the raw compute time must have elapsed.
+  EXPECT_GE(H.Sim.now(), 100u * 1000u);
+}
+
+TEST(RegionExec, DoAnySpeedsUpWithDoP) {
+  sim::SimTime T1 = 0, T4 = 0;
+  for (unsigned DoP : {1u, 4u}) {
+    Harness H(8);
+    CountedWorkSource Src(200);
+    RegionDesc D = makeSingleTaskRegion(Scheme::DoAny, 50000);
+    RegionExec R(H.M, H.Costs, D, Src,
+                 RegionConfig{Scheme::DoAny, {DoP}});
+    R.start();
+    H.Sim.run();
+    EXPECT_EQ(R.iterationsRetired(), 200u);
+    (DoP == 1 ? T1 : T4) = H.Sim.now();
+  }
+  double Speedup = static_cast<double>(T1) / static_cast<double>(T4);
+  EXPECT_GT(Speedup, 3.5);
+  EXPECT_LE(Speedup, 4.1);
+}
+
+TEST(RegionExec, PipelineProducesInOrder) {
+  Harness H(8);
+  CountedWorkSource Src(300);
+  std::vector<std::int64_t> TailOrder;
+  RegionDesc D = makePipelineRegion(20000, 2000, &TailOrder);
+  RegionExec R(H.M, H.Costs, D, Src,
+               RegionConfig{Scheme::PsDswp, {1, 4, 1}});
+  R.start();
+  H.Sim.run();
+  EXPECT_TRUE(R.completed());
+  ASSERT_EQ(TailOrder.size(), 300u);
+  for (std::int64_t I = 0; I < 300; ++I)
+    EXPECT_EQ(TailOrder[I], I * 2);
+}
+
+TEST(RegionExec, PipelineParallelStageScales) {
+  // With the middle stage 8x the weight of the ends, DoP 4 on the middle
+  // should give close to 4x over DoP 1.
+  sim::SimTime T1 = 0, T4 = 0;
+  for (unsigned Mid : {1u, 4u}) {
+    Harness H(8);
+    CountedWorkSource Src(400);
+    RegionDesc D = makePipelineRegion(40000, 3000, nullptr);
+    RegionExec R(H.M, H.Costs, D, Src,
+                 RegionConfig{Scheme::PsDswp, {1, Mid, 1}});
+    R.start();
+    H.Sim.run();
+    EXPECT_TRUE(R.completed());
+    (Mid == 1 ? T1 : T4) = H.Sim.now();
+  }
+  double Speedup = static_cast<double>(T1) / static_cast<double>(T4);
+  EXPECT_GT(Speedup, 3.0);
+}
+
+TEST(RegionExec, PauseDrainsAndStopsAtBound) {
+  Harness H(8);
+  CountedWorkSource Src(1000);
+  std::vector<std::int64_t> TailOrder;
+  RegionDesc D = makePipelineRegion(20000, 2000, &TailOrder);
+  RegionExec R(H.M, H.Costs, D, Src,
+               RegionConfig{Scheme::PsDswp, {1, 4, 1}});
+  bool Quiescent = false;
+  R.OnQuiescent = [&] { Quiescent = true; };
+  R.start();
+  H.Sim.schedule(2 * sim::MSec, [&] { R.requestPause(); });
+  H.Sim.run();
+  EXPECT_TRUE(Quiescent);
+  EXPECT_FALSE(R.completed());
+  std::uint64_t Bound = R.nextSeq();
+  EXPECT_GT(Bound, 0u);
+  EXPECT_LT(Bound, 1000u);
+  // Drain property: exactly the claimed iterations retire, in order.
+  ASSERT_EQ(TailOrder.size(), Bound);
+  for (std::uint64_t I = 0; I < Bound; ++I)
+    EXPECT_EQ(TailOrder[I], static_cast<std::int64_t>(I) * 2);
+}
+
+TEST(RegionExec, ResumeAfterPauseFinishesAllWork) {
+  Harness H(8);
+  CountedWorkSource Src(500);
+  std::vector<std::int64_t> TailOrder;
+  RegionDesc D = makePipelineRegion(20000, 2000, &TailOrder);
+  auto First = std::make_unique<RegionExec>(
+      H.M, H.Costs, D, Src, RegionConfig{Scheme::PsDswp, {1, 4, 1}});
+  std::unique_ptr<RegionExec> Second;
+  First->OnQuiescent = [&] {
+    // Resume with a different DoP, continuing the iteration space.
+    Second = std::make_unique<RegionExec>(
+        H.M, H.Costs, D, Src, RegionConfig{Scheme::PsDswp, {1, 2, 1}},
+        First->nextSeq());
+    Second->start();
+  };
+  First->start();
+  H.Sim.schedule(1 * sim::MSec, [&] { First->requestPause(); });
+  H.Sim.run();
+  ASSERT_TRUE(Second) << "pause arrived after the region completed";
+  EXPECT_TRUE(Second->completed());
+  ASSERT_EQ(TailOrder.size(), 500u);
+  for (std::int64_t I = 0; I < 500; ++I)
+    EXPECT_EQ(TailOrder[I], I * 2);
+}
+
+TEST(RegionExec, InPlaceDoPIncreasePreservesOrder) {
+  Harness H(16);
+  CountedWorkSource Src(600);
+  std::vector<std::int64_t> TailOrder;
+  RegionDesc D = makePipelineRegion(20000, 1000, &TailOrder);
+  RegionExec R(H.M, H.Costs, D, Src,
+               RegionConfig{Scheme::PsDswp, {1, 2, 1}});
+  R.start();
+  H.Sim.schedule(2 * sim::MSec, [&] { R.reconfigureInPlace({1, 6, 1}); });
+  H.Sim.run();
+  EXPECT_TRUE(R.completed());
+  EXPECT_EQ(R.config().DoP[1], 6u);
+  ASSERT_EQ(TailOrder.size(), 600u);
+  for (std::int64_t I = 0; I < 600; ++I)
+    EXPECT_EQ(TailOrder[I], I * 2) << "out-of-order at " << I;
+}
+
+TEST(RegionExec, InPlaceDoPDecreaseRetiresSlots) {
+  Harness H(16);
+  CountedWorkSource Src(600);
+  std::vector<std::int64_t> TailOrder;
+  RegionDesc D = makePipelineRegion(20000, 1000, &TailOrder);
+  RegionExec R(H.M, H.Costs, D, Src,
+               RegionConfig{Scheme::PsDswp, {1, 6, 1}});
+  R.start();
+  H.Sim.schedule(2 * sim::MSec, [&] { R.reconfigureInPlace({1, 2, 1}); });
+  H.Sim.run();
+  EXPECT_TRUE(R.completed());
+  ASSERT_EQ(TailOrder.size(), 600u);
+  for (std::int64_t I = 0; I < 600; ++I)
+    EXPECT_EQ(TailOrder[I], I * 2);
+}
+
+TEST(RegionExec, ManyRandomInPlaceReconfigsPreserveSemantics) {
+  // Property test: arbitrary DoP schedules never reorder, duplicate, or
+  // drop iterations (the guarantee Figure 7.5's naive scheme violates).
+  Rng R0(1234);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Harness H(16);
+    CountedWorkSource Src(800);
+    std::vector<std::int64_t> TailOrder;
+    RegionDesc D = makePipelineRegion(15000, 800, &TailOrder);
+    RegionExec R(H.M, H.Costs, D, Src,
+                 RegionConfig{Scheme::PsDswp, {1, 3, 1}});
+    R.start();
+    for (int K = 1; K <= 8; ++K) {
+      unsigned NewDoP = 1 + static_cast<unsigned>(R0.nextBelow(8));
+      H.Sim.schedule(static_cast<sim::SimTime>(K) * sim::MSec, [&R, NewDoP] {
+        if (!R.completed())
+          R.reconfigureInPlace({1, NewDoP, 1});
+      });
+    }
+    H.Sim.run();
+    EXPECT_TRUE(R.completed());
+    ASSERT_EQ(TailOrder.size(), 800u);
+    for (std::int64_t I = 0; I < 800; ++I)
+      ASSERT_EQ(TailOrder[I], I * 2) << "trial " << Trial;
+  }
+}
+
+TEST(RegionExec, CriticalSectionsSerialize) {
+  Harness H(8);
+  CountedWorkSource Src(100);
+  RegionDesc D;
+  D.Name = "crit";
+  D.S = Scheme::DoAny;
+  D.Tasks.emplace_back("work", TaskType::Par, [](IterationContext &Ctx) {
+    Ctx.Cost = 100;
+    Ctx.Criticals.push_back({7, 10000});
+  });
+  RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::DoAny, {8}});
+  R.start();
+  H.Sim.run();
+  EXPECT_TRUE(R.completed());
+  // The critical section is the serial bottleneck: 100 * 10000 cycles.
+  EXPECT_GE(H.Sim.now(), 100u * 10000u);
+}
+
+TEST(RegionExec, ReductionPrivatizationRemovesSerialization) {
+  auto RunWith = [&](bool Privatized) {
+    Harness H(8);
+    H.Costs.PrivatizedReductions = Privatized;
+    CountedWorkSource Src(200);
+    RegionDesc D;
+    D.Name = "red";
+    D.S = Scheme::DoAny;
+    Task T("sum", TaskType::Par,
+           [](IterationContext &Ctx) { Ctx.Cost = 5000; });
+    T.Reduction = CriticalSection{1, 4000};
+    D.Tasks.push_back(std::move(T));
+    RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::DoAny, {8}});
+    R.start();
+    H.Sim.run();
+    EXPECT_TRUE(R.completed());
+    return H.Sim.now();
+  };
+  sim::SimTime WithLock = RunWith(false);
+  sim::SimTime WithPriv = RunWith(true);
+  EXPECT_LT(WithPriv, WithLock);
+  // Unprivatized: the 4000-cycle reduction serializes all 200 iterations.
+  EXPECT_GE(WithLock, 200u * 4000u);
+}
+
+TEST(RegionExec, QueueSourceServerFlow) {
+  Harness H(4);
+  QueueWorkSource Src;
+  std::vector<std::uint64_t> Order;
+  RegionDesc D = makeSingleTaskRegion(Scheme::DoAny, 30000, &Order);
+  RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::DoAny, {2}});
+  R.start();
+  // Items arrive over time; the region blocks in between and completes
+  // when the queue closes.
+  for (int I = 0; I < 20; ++I)
+    H.Sim.schedule(static_cast<sim::SimTime>(I) * 100 * sim::USec,
+                   [&Src] { Src.push(Token{}); });
+  H.Sim.schedule(3 * sim::MSec, [&Src] { Src.close(); });
+  H.Sim.run();
+  EXPECT_TRUE(R.completed());
+  EXPECT_EQ(R.iterationsRetired(), 20u);
+}
+
+TEST(RegionExec, StatsAccumulate) {
+  Harness H(4);
+  CountedWorkSource Src(50);
+  RegionDesc D = makeSingleTaskRegion(Scheme::Seq, 1000);
+  RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::Seq, {1}});
+  R.start();
+  H.Sim.run();
+  EXPECT_EQ(R.stats(0).Iterations, 50u);
+  EXPECT_EQ(R.stats(0).ComputeTime, 50u * 1000u);
+}
+
+TEST(RegionExec, LoadOfReportsQueueOccupancy) {
+  Harness H(4);
+  QueueWorkSource Src;
+  for (int I = 0; I < 7; ++I)
+    Src.push(Token{});
+  RegionDesc D = makeSingleTaskRegion(Scheme::DoAny, 1000);
+  RegionExec R(H.M, H.Costs, D, Src, RegionConfig{Scheme::DoAny, {1}});
+  // Before starting, the head's load is the queue occupancy.
+  EXPECT_DOUBLE_EQ(R.loadOf(0), 7.0);
+}

@@ -1,0 +1,290 @@
+//===- SimTest.cpp - Unit tests for the discrete-event simulator -----------===//
+
+#include "sim/BoundedQueue.h"
+#include "sim/Machine.h"
+#include "sim/Power.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace parcae::sim;
+
+namespace {
+
+/// Computes a fixed number of bursts, then finishes.
+class BurstBody : public ThreadBody {
+public:
+  BurstBody(int Bursts, SimTime Cycles) : Remaining(Bursts), Cycles(Cycles) {}
+  Action resume(Machine &, SimThread &) override {
+    if (Remaining-- > 0)
+      return Action::compute(Cycles);
+    return Action::finish();
+  }
+  int Remaining;
+  SimTime Cycles;
+};
+
+/// Produces N tokens into a queue, one per compute burst.
+class ProducerBody : public ThreadBody {
+public:
+  ProducerBody(BoundedQueue<int> &Q, int N, SimTime Cost)
+      : Q(Q), N(N), Cost(Cost) {}
+  Action resume(Machine &, SimThread &) override {
+    if (Pending) {
+      if (!Q.tryPush(Next))
+        return Action::block(Q.notFull());
+      Pending = false;
+      ++Next;
+    }
+    if (Next >= N && !Pending)
+      return Action::finish();
+    Pending = true;
+    return Action::compute(Cost);
+  }
+  BoundedQueue<int> &Q;
+  int N;
+  SimTime Cost;
+  int Next = 0;
+  bool Pending = false;
+};
+
+/// Consumes tokens until it has seen \p N of them.
+class ConsumerBody : public ThreadBody {
+public:
+  ConsumerBody(BoundedQueue<int> &Q, int N, SimTime Cost,
+               std::vector<int> &Out)
+      : Q(Q), N(N), Cost(Cost), Out(Out) {}
+  Action resume(Machine &, SimThread &) override {
+    if (static_cast<int>(Out.size()) >= N)
+      return Action::finish();
+    int V;
+    if (!Q.tryPop(V))
+      return Action::block(Q.notEmpty());
+    Out.push_back(V);
+    return Action::compute(Cost);
+  }
+  BoundedQueue<int> &Q;
+  int N;
+  SimTime Cost;
+  std::vector<int> &Out;
+};
+
+} // namespace
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.schedule(30, [&] { Order.push_back(3); });
+  Sim.schedule(10, [&] { Order.push_back(1); });
+  Sim.schedule(20, [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Sim.now(), 30u);
+  EXPECT_EQ(Sim.eventsProcessed(), 3u);
+}
+
+TEST(Simulator, TiesFireInScheduleOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  for (int I = 0; I < 5; ++I)
+    Sim.schedule(100, [&, I] { Order.push_back(I); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.schedule(5, [&] {
+    ++Fired;
+    Sim.schedule(5, [&] { ++Fired; });
+  });
+  Sim.run();
+  EXPECT_EQ(Fired, 2);
+  EXPECT_EQ(Sim.now(), 10u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.schedule(10, [&] { ++Fired; });
+  Sim.schedule(100, [&] { ++Fired; });
+  Sim.runUntil(50);
+  EXPECT_EQ(Fired, 1);
+  EXPECT_EQ(Sim.now(), 50u);
+  Sim.run();
+  EXPECT_EQ(Fired, 2);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.schedule(1, [&] {
+    ++Fired;
+    Sim.stop();
+  });
+  Sim.schedule(2, [&] { ++Fired; });
+  Sim.run();
+  EXPECT_EQ(Fired, 1);
+}
+
+TEST(Machine, SingleThreadComputesSerially) {
+  Simulator Sim;
+  Machine M(Sim, 4);
+  M.spawn("t", std::make_unique<BurstBody>(3, 100));
+  Sim.run();
+  EXPECT_EQ(Sim.now(), 300u);
+  EXPECT_EQ(M.threadsAlive(), 0u);
+}
+
+TEST(Machine, ThreadsRunInParallelAcrossCores) {
+  Simulator Sim;
+  Machine M(Sim, 4);
+  for (int I = 0; I < 4; ++I)
+    M.spawn("t", std::make_unique<BurstBody>(1, 1000));
+  Sim.run();
+  // Four independent threads on four cores finish in one burst time.
+  EXPECT_EQ(Sim.now(), 1000u);
+  EXPECT_EQ(M.busyCoreTime(), 4000u);
+}
+
+TEST(Machine, OversubscriptionTimeSlices) {
+  Simulator Sim;
+  MachineConfig Cfg;
+  Cfg.Quantum = 100;
+  Cfg.CtxSwitchCost = 10;
+  Machine M(Sim, 1, Cfg);
+  M.spawn("a", std::make_unique<BurstBody>(1, 300));
+  M.spawn("b", std::make_unique<BurstBody>(1, 300));
+  Sim.run();
+  // Work is 600 plus context-switch overhead from interleaving on 1 core.
+  EXPECT_GT(Sim.now(), 600u);
+  EXPECT_EQ(M.threadsAlive(), 0u);
+}
+
+TEST(Machine, SoloThreadPaysNoSwitchCost) {
+  Simulator Sim;
+  MachineConfig Cfg;
+  Cfg.Quantum = 100;
+  Cfg.CtxSwitchCost = 50;
+  Machine M(Sim, 2, Cfg);
+  M.spawn("solo", std::make_unique<BurstBody>(1, 1000));
+  Sim.run();
+  EXPECT_EQ(Sim.now(), 1000u); // 10 quanta, zero switch cost
+}
+
+TEST(Machine, ExitEventFires) {
+  Simulator Sim;
+  Machine M(Sim, 1);
+  SimThread *T = M.spawn("t", std::make_unique<BurstBody>(1, 50));
+  bool Saw = false;
+  // A second thread waits for the first to finish.
+  class WaiterBody : public ThreadBody {
+  public:
+    WaiterBody(SimThread *T, bool &Saw) : T(T), Saw(Saw) {}
+    Action resume(Machine &, SimThread &) override {
+      if (T->state() != ThreadState::Finished)
+        return Action::block(T->exitEvent());
+      Saw = true;
+      return Action::finish();
+    }
+    SimThread *T;
+    bool &Saw;
+  };
+  M.spawn("w", std::make_unique<WaiterBody>(T, Saw));
+  Sim.run();
+  EXPECT_TRUE(Saw);
+}
+
+TEST(Machine, ProducerConsumerFifoOrder) {
+  Simulator Sim;
+  Machine M(Sim, 2);
+  BoundedQueue<int> Q(4);
+  std::vector<int> Out;
+  M.spawn("prod", std::make_unique<ProducerBody>(Q, 50, 10));
+  M.spawn("cons", std::make_unique<ConsumerBody>(Q, 50, 25, Out));
+  Sim.run();
+  ASSERT_EQ(Out.size(), 50u);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(Out[I], I);
+  // Consumer is the bottleneck at 25 cycles per token.
+  EXPECT_GE(Sim.now(), 50u * 25u);
+}
+
+TEST(Machine, BoundedQueueBackpressure) {
+  Simulator Sim;
+  Machine M(Sim, 2);
+  BoundedQueue<int> Q(2);
+  std::vector<int> Out;
+  // Fast producer, slow consumer: the queue bound must throttle.
+  M.spawn("prod", std::make_unique<ProducerBody>(Q, 20, 1));
+  M.spawn("cons", std::make_unique<ConsumerBody>(Q, 20, 100, Out));
+  Sim.run();
+  ASSERT_EQ(Out.size(), 20u);
+  // Finish time dominated by consumer.
+  EXPECT_GE(Sim.now(), 2000u);
+}
+
+TEST(Machine, BusyCoreTimeIntegrates) {
+  Simulator Sim;
+  Machine M(Sim, 2);
+  M.spawn("a", std::make_unique<BurstBody>(1, 100));
+  M.spawn("b", std::make_unique<BurstBody>(1, 200));
+  Sim.run();
+  EXPECT_EQ(M.busyCoreTime(), 300u);
+}
+
+TEST(BoundedQueue, BasicOps) {
+  BoundedQueue<int> Q(2);
+  EXPECT_TRUE(Q.empty());
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_TRUE(Q.full());
+  EXPECT_FALSE(Q.tryPush(3));
+  int V = 0;
+  EXPECT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_EQ(Q.front(), 2);
+  EXPECT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.tryPop(V));
+}
+
+TEST(Power, EnergyIntegration) {
+  Simulator Sim;
+  Machine M(Sim, 2);
+  PowerModel PM;
+  PM.StaticWatts = 100;
+  PM.PerCoreActiveWatts = 10;
+  EnergyMeter Meter(M, PM);
+  // One core busy for 1 virtual second.
+  M.spawn("t", std::make_unique<BurstBody>(1, Sec));
+  Sim.run();
+  EXPECT_NEAR(Meter.joules(), 110.0, 1e-6);
+  EXPECT_NEAR(Meter.currentWatts(), 100.0, 1e-9); // idle again
+}
+
+TEST(Power, PduSamplerRate) {
+  Simulator Sim;
+  Machine M(Sim, 1);
+  EnergyMeter Meter(M, PowerModel{});
+  int Samples = 0;
+  PduSampler Pdu(Sim, Meter, [&](double) { ++Samples; });
+  Sim.schedule(60 * Sec, [&] { Pdu.stop(); });
+  Sim.runUntil(60 * Sec);
+  EXPECT_EQ(Samples, 13); // 13 samples per minute, like the AP7892
+}
+
+TEST(Power, NinetyPercentPeakIsSixtyPercentDynamic) {
+  // The calibration property from Section 8.2.3.
+  PowerModel PM;
+  unsigned N = 24;
+  double Peak = PM.peakWatts(N);
+  double Idle = PM.watts(0);
+  double Target = 0.9 * Peak;
+  double DynFraction = (Target - Idle) / (Peak - Idle);
+  EXPECT_NEAR(DynFraction, 0.6, 0.02);
+}

@@ -1,0 +1,151 @@
+//===- SupportTest.cpp - Unit tests for the support library ----------------===//
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace parcae;
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    std::int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, NextRealUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApprox) {
+  Rng R(13);
+  double Sum = 0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.nextExponential(5.0);
+  EXPECT_NEAR(Sum / N, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMomentsApprox) {
+  Rng R(17);
+  OnlineStats S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.nextNormal(10.0, 2.0));
+  EXPECT_NEAR(S.mean(), 10.0, 0.1);
+  EXPECT_NEAR(S.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalClamped) {
+  Rng R(19);
+  for (int I = 0; I < 20000; ++I) {
+    double V = R.nextNormal(0.0, 1.0);
+    EXPECT_GE(V, -4.0);
+    EXPECT_LE(V, 4.0);
+  }
+}
+
+TEST(OnlineStats, Basic) {
+  OnlineStats S;
+  EXPECT_TRUE(S.empty());
+  S.add(1);
+  S.add(2);
+  S.add(3);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  EXPECT_NEAR(S.variance(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.sum(), 6.0);
+}
+
+TEST(OnlineStats, SingleSampleVarianceZero) {
+  OnlineStats S;
+  S.add(5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(MovingAverage, SeedsWithFirstSample) {
+  MovingAverage M(0.5);
+  EXPECT_FALSE(M.seeded());
+  M.add(10);
+  EXPECT_TRUE(M.seeded());
+  EXPECT_DOUBLE_EQ(M.value(), 10.0);
+  M.add(20);
+  EXPECT_DOUBLE_EQ(M.value(), 15.0);
+}
+
+TEST(MovingAverage, Reset) {
+  MovingAverage M(0.5);
+  M.add(10);
+  M.reset();
+  EXPECT_FALSE(M.seeded());
+  M.add(4);
+  EXPECT_DOUBLE_EQ(M.value(), 4.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet S;
+  for (int I = 1; I <= 100; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(S.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 100.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 50.5);
+}
+
+TEST(SampleSet, EmptyIsZero) {
+  SampleSet S;
+  EXPECT_DOUBLE_EQ(S.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "2.50"});
+  std::string S = T.format();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("longer"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(S.begin(), S.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}

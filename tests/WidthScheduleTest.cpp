@@ -1,0 +1,119 @@
+//===- WidthScheduleTest.cpp - Epoch routing tests --------------------------===//
+//
+// Tests for the iteration-count handoff that keeps round-robin channel
+// routing consistent across DoP changes (Section 7.2, Figure 7.5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WidthSchedule.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace parcae::rt;
+
+TEST(WidthSchedule, SingleEpochRoundRobin) {
+  WidthSchedule S(3);
+  for (std::uint64_t I = 0; I < 30; ++I) {
+    EXPECT_EQ(S.widthAt(I), 3u);
+    EXPECT_EQ(S.slotOf(I), I % 3);
+  }
+}
+
+TEST(WidthSchedule, EpochBoundaryRouting) {
+  WidthSchedule S(2);
+  S.append(10, 5);
+  EXPECT_EQ(S.widthAt(9), 2u);
+  EXPECT_EQ(S.widthAt(10), 5u);
+  EXPECT_EQ(S.slotOf(9), 9 % 2);
+  EXPECT_EQ(S.slotOf(10), 10 % 5);
+  EXPECT_EQ(S.currentWidth(), 5u);
+  EXPECT_EQ(S.currentEpochStart(), 10u);
+}
+
+TEST(WidthSchedule, OldIterationsKeepOldRouting) {
+  // The crux of Figure 7.5: increasing DoP from m to m+1 must not change
+  // the slot that owns already-produced iterations.
+  unsigned M = 4;
+  WidthSchedule S(M);
+  std::vector<unsigned> Before;
+  for (std::uint64_t I = 0; I < 20; ++I)
+    Before.push_back(S.slotOf(I));
+  S.append(20, M + 1);
+  for (std::uint64_t I = 0; I < 20; ++I)
+    EXPECT_EQ(S.slotOf(I), Before[I]) << "iteration " << I;
+  // A naive schedule that re-mods everything *would* reassign ownership:
+  WidthSchedule Naive(M + 1);
+  bool AnyDiffer = false;
+  for (std::uint64_t I = 0; I < 20; ++I)
+    AnyDiffer |= Naive.slotOf(I) != Before[I];
+  EXPECT_TRUE(AnyDiffer) << "naive re-mod should violate old ownership";
+}
+
+TEST(WidthSchedule, FirstSeqForBasic) {
+  WidthSchedule S(4);
+  EXPECT_EQ(S.firstSeqFor(0, 0), 0u);
+  EXPECT_EQ(S.firstSeqFor(1, 0), 1u);
+  EXPECT_EQ(S.firstSeqFor(3, 0), 3u);
+  EXPECT_EQ(S.firstSeqFor(1, 2), 5u);
+  EXPECT_EQ(S.firstSeqFor(1, 5), 5u);
+  EXPECT_EQ(S.firstSeqFor(1, 6), 9u);
+}
+
+TEST(WidthSchedule, FirstSeqForRetiredSlot) {
+  WidthSchedule S(4);
+  S.append(12, 2);
+  // Slot 3 owns 3, 7, 11 and then never runs again.
+  EXPECT_EQ(S.firstSeqFor(3, 0), 3u);
+  EXPECT_EQ(S.firstSeqFor(3, 8), 11u);
+  EXPECT_EQ(S.firstSeqFor(3, 12), NoSeq);
+}
+
+TEST(WidthSchedule, FirstSeqForResurrectedSlot) {
+  WidthSchedule S(4);
+  S.append(12, 2);
+  S.append(20, 6);
+  // Slot 3 disappears in [12, 20) and reappears at 20.
+  EXPECT_EQ(S.firstSeqFor(3, 12), 21u); // 21 % 6 == 3
+  EXPECT_EQ(S.firstSeqFor(5, 0), 23u);  // slot 5 only exists at width 6
+}
+
+TEST(WidthSchedule, NextSeqForSkipsCurrent) {
+  WidthSchedule S(3);
+  EXPECT_EQ(S.nextSeqFor(0, 0), 3u);
+  EXPECT_EQ(S.nextSeqFor(2, 2), 5u);
+}
+
+TEST(WidthSchedule, AppendSameStartReplacesWidth) {
+  WidthSchedule S(2);
+  S.append(10, 4);
+  S.append(10, 6);
+  EXPECT_EQ(S.widthAt(10), 6u);
+  EXPECT_EQ(S.numEpochs(), 2u);
+}
+
+TEST(WidthSchedule, AppendSameWidthIsNoop) {
+  WidthSchedule S(2);
+  S.append(10, 2);
+  EXPECT_EQ(S.numEpochs(), 1u);
+}
+
+TEST(WidthSchedule, EveryIterationOwnedByExactlyOneSlot) {
+  // Property: across arbitrary epochs, each iteration maps to exactly one
+  // (slot) and firstSeqFor enumerates exactly the owned set.
+  WidthSchedule S(3);
+  S.append(7, 5);
+  S.append(13, 2);
+  S.append(40, 4);
+  std::set<std::uint64_t> Seen;
+  for (unsigned Slot = 0; Slot < 5; ++Slot) {
+    std::uint64_t I = S.firstSeqFor(Slot, 0);
+    while (I != NoSeq && I < 100) {
+      EXPECT_TRUE(Seen.insert(I).second) << "iteration owned twice: " << I;
+      EXPECT_EQ(S.slotOf(I), Slot);
+      I = S.nextSeqFor(Slot, I);
+    }
+  }
+  EXPECT_EQ(Seen.size(), 100u);
+}
