@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_4_motivation.dir/bench_fig2_4_motivation.cpp.o"
+  "CMakeFiles/bench_fig2_4_motivation.dir/bench_fig2_4_motivation.cpp.o.d"
+  "bench_fig2_4_motivation"
+  "bench_fig2_4_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_4_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

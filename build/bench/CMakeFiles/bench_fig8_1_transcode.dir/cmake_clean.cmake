@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_1_transcode.dir/bench_fig8_1_transcode.cpp.o"
+  "CMakeFiles/bench_fig8_1_transcode.dir/bench_fig8_1_transcode.cpp.o.d"
+  "bench_fig8_1_transcode"
+  "bench_fig8_1_transcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_1_transcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

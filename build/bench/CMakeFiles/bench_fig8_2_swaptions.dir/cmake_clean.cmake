@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_2_swaptions.dir/bench_fig8_2_swaptions.cpp.o"
+  "CMakeFiles/bench_fig8_2_swaptions.dir/bench_fig8_2_swaptions.cpp.o.d"
+  "bench_fig8_2_swaptions"
+  "bench_fig8_2_swaptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_2_swaptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

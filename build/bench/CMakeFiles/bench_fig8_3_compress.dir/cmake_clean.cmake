@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_3_compress.dir/bench_fig8_3_compress.cpp.o"
+  "CMakeFiles/bench_fig8_3_compress.dir/bench_fig8_3_compress.cpp.o.d"
+  "bench_fig8_3_compress"
+  "bench_fig8_3_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_3_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

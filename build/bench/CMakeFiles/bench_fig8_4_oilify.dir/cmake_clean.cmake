@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_4_oilify.dir/bench_fig8_4_oilify.cpp.o"
+  "CMakeFiles/bench_fig8_4_oilify.dir/bench_fig8_4_oilify.cpp.o.d"
+  "bench_fig8_4_oilify"
+  "bench_fig8_4_oilify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_4_oilify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_5_ferret.dir/bench_fig8_5_ferret.cpp.o"
+  "CMakeFiles/bench_fig8_5_ferret.dir/bench_fig8_5_ferret.cpp.o.d"
+  "bench_fig8_5_ferret"
+  "bench_fig8_5_ferret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_5_ferret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

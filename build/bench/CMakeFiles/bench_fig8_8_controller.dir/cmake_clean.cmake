@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_8_controller.dir/bench_fig8_8_controller.cpp.o"
+  "CMakeFiles/bench_fig8_8_controller.dir/bench_fig8_8_controller.cpp.o.d"
+  "bench_fig8_8_controller"
+  "bench_fig8_8_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_8_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_platform.dir/bench_fig8_9_platform.cpp.o"
+  "CMakeFiles/bench_fig8_9_platform.dir/bench_fig8_9_platform.cpp.o.d"
+  "bench_fig8_9_platform"
+  "bench_fig8_9_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_6_nona.dir/bench_table8_6_nona.cpp.o"
+  "CMakeFiles/bench_table8_6_nona.dir/bench_table8_6_nona.cpp.o.d"
+  "bench_table8_6_nona"
+  "bench_table8_6_nona.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_6_nona.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

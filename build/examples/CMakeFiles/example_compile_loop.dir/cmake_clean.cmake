@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compile_loop.dir/compile_loop.cpp.o"
+  "CMakeFiles/example_compile_loop.dir/compile_loop.cpp.o.d"
+  "example_compile_loop"
+  "example_compile_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compile_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

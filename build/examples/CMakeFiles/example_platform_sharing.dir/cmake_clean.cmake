@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_platform_sharing.dir/platform_sharing.cpp.o"
+  "CMakeFiles/example_platform_sharing.dir/platform_sharing.cpp.o.d"
+  "example_platform_sharing"
+  "example_platform_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_platform_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

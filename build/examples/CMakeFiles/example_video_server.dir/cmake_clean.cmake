@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_server.dir/video_server.cpp.o"
+  "CMakeFiles/example_video_server.dir/video_server.cpp.o.d"
+  "example_video_server"
+  "example_video_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

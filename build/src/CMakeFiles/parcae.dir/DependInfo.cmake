@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/LaneApps.cpp" "src/CMakeFiles/parcae.dir/apps/LaneApps.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/apps/LaneApps.cpp.o.d"
+  "/root/repo/src/apps/PipelineApps.cpp" "src/CMakeFiles/parcae.dir/apps/PipelineApps.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/apps/PipelineApps.cpp.o.d"
+  "/root/repo/src/core/Api.cpp" "src/CMakeFiles/parcae.dir/core/Api.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/core/Api.cpp.o.d"
+  "/root/repo/src/core/Link.cpp" "src/CMakeFiles/parcae.dir/core/Link.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/core/Link.cpp.o.d"
+  "/root/repo/src/core/Region.cpp" "src/CMakeFiles/parcae.dir/core/Region.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/core/Region.cpp.o.d"
+  "/root/repo/src/core/WidthSchedule.cpp" "src/CMakeFiles/parcae.dir/core/WidthSchedule.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/core/WidthSchedule.cpp.o.d"
+  "/root/repo/src/core/WorkSource.cpp" "src/CMakeFiles/parcae.dir/core/WorkSource.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/core/WorkSource.cpp.o.d"
+  "/root/repo/src/interp/Memory.cpp" "src/CMakeFiles/parcae.dir/interp/Memory.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/interp/Memory.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/CMakeFiles/parcae.dir/ir/Dominators.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/parcae.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/mechanisms/LaneMechanisms.cpp" "src/CMakeFiles/parcae.dir/mechanisms/LaneMechanisms.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/mechanisms/LaneMechanisms.cpp.o.d"
+  "/root/repo/src/mechanisms/PipeMechanisms.cpp" "src/CMakeFiles/parcae.dir/mechanisms/PipeMechanisms.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/mechanisms/PipeMechanisms.cpp.o.d"
+  "/root/repo/src/morta/Controller.cpp" "src/CMakeFiles/parcae.dir/morta/Controller.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/morta/Controller.cpp.o.d"
+  "/root/repo/src/morta/Platform.cpp" "src/CMakeFiles/parcae.dir/morta/Platform.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/morta/Platform.cpp.o.d"
+  "/root/repo/src/morta/RegionExec.cpp" "src/CMakeFiles/parcae.dir/morta/RegionExec.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/morta/RegionExec.cpp.o.d"
+  "/root/repo/src/morta/RegionRunner.cpp" "src/CMakeFiles/parcae.dir/morta/RegionRunner.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/morta/RegionRunner.cpp.o.d"
+  "/root/repo/src/morta/Worker.cpp" "src/CMakeFiles/parcae.dir/morta/Worker.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/morta/Worker.cpp.o.d"
+  "/root/repo/src/nona/Compile.cpp" "src/CMakeFiles/parcae.dir/nona/Compile.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/nona/Compile.cpp.o.d"
+  "/root/repo/src/nona/Programs.cpp" "src/CMakeFiles/parcae.dir/nona/Programs.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/nona/Programs.cpp.o.d"
+  "/root/repo/src/nona/Run.cpp" "src/CMakeFiles/parcae.dir/nona/Run.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/nona/Run.cpp.o.d"
+  "/root/repo/src/pdg/PDG.cpp" "src/CMakeFiles/parcae.dir/pdg/PDG.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/pdg/PDG.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/CMakeFiles/parcae.dir/sim/Machine.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/sim/Machine.cpp.o.d"
+  "/root/repo/src/sim/Power.cpp" "src/CMakeFiles/parcae.dir/sim/Power.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/sim/Power.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/parcae.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/parcae.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/parcae.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/parcae.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/support/Table.cpp.o.d"
+  "/root/repo/src/workloads/Experiment.cpp" "src/CMakeFiles/parcae.dir/workloads/Experiment.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/workloads/Experiment.cpp.o.d"
+  "/root/repo/src/workloads/LoadGen.cpp" "src/CMakeFiles/parcae.dir/workloads/LoadGen.cpp.o" "gcc" "src/CMakeFiles/parcae.dir/workloads/LoadGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ApiTest.cpp" "tests/CMakeFiles/parcae_tests.dir/ApiTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/ApiTest.cpp.o.d"
+  "/root/repo/tests/AppsTest.cpp" "tests/CMakeFiles/parcae_tests.dir/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/AppsTest.cpp.o.d"
+  "/root/repo/tests/CalibrationTest.cpp" "tests/CMakeFiles/parcae_tests.dir/CalibrationTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/CalibrationTest.cpp.o.d"
+  "/root/repo/tests/ControllerTest.cpp" "tests/CMakeFiles/parcae_tests.dir/ControllerTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/ControllerTest.cpp.o.d"
+  "/root/repo/tests/ExecutionModelTest.cpp" "tests/CMakeFiles/parcae_tests.dir/ExecutionModelTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/ExecutionModelTest.cpp.o.d"
+  "/root/repo/tests/FaultInjectionTest.cpp" "tests/CMakeFiles/parcae_tests.dir/FaultInjectionTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/FaultInjectionTest.cpp.o.d"
+  "/root/repo/tests/LinkTest.cpp" "tests/CMakeFiles/parcae_tests.dir/LinkTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/LinkTest.cpp.o.d"
+  "/root/repo/tests/MechanismsTest.cpp" "tests/CMakeFiles/parcae_tests.dir/MechanismsTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/MechanismsTest.cpp.o.d"
+  "/root/repo/tests/NonaTest.cpp" "tests/CMakeFiles/parcae_tests.dir/NonaTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/NonaTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/parcae_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RegionExecTest.cpp" "tests/CMakeFiles/parcae_tests.dir/RegionExecTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/RegionExecTest.cpp.o.d"
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/parcae_tests.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/SimTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/parcae_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/WidthScheduleTest.cpp" "tests/CMakeFiles/parcae_tests.dir/WidthScheduleTest.cpp.o" "gcc" "tests/CMakeFiles/parcae_tests.dir/WidthScheduleTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parcae.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

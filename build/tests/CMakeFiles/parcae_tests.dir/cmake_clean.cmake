@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_tests.dir/ApiTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/ApiTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/AppsTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/AppsTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/CalibrationTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/CalibrationTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/ControllerTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/ControllerTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/ExecutionModelTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/ExecutionModelTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/FaultInjectionTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/FaultInjectionTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/LinkTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/LinkTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/MechanismsTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/MechanismsTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/NonaTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/NonaTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/PropertyTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/RegionExecTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/RegionExecTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/SimTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/SimTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/parcae_tests.dir/WidthScheduleTest.cpp.o"
+  "CMakeFiles/parcae_tests.dir/WidthScheduleTest.cpp.o.d"
+  "parcae_tests"
+  "parcae_tests.pdb"
+  "parcae_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
