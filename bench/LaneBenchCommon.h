@@ -12,6 +12,7 @@
 #define PARCAE_BENCH_LANEBENCHCOMMON_H
 
 #include "support/Table.h"
+#include "telemetry/ChromeTrace.h"
 #include "workloads/Experiment.h"
 
 #include <cstdio>
@@ -74,6 +75,15 @@ inline void runLaneFigure(const char *Figure, const LaneAppParams &P,
   std::printf("\n(expected shape: Static<inner> wins at light load,"
               " Static<outer> at heavy load; the adaptive mechanisms track"
               " the better static on both sides)\n");
+}
+
+/// Standard main() body for the lane benchmarks: installs a trace
+/// recorder when `--trace <file.json>` is given, then runs the sweep.
+inline int laneBenchMain(int Argc, char **Argv, const char *Figure,
+                         const LaneAppParams &P) {
+  telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
+  runLaneFigure(Figure, P);
+  return 0;
 }
 
 } // namespace parcae::rt

@@ -7,7 +7,7 @@
 
 #include "LaneBenchCommon.h"
 
-int main() {
-  parcae::rt::runLaneFigure("Figure 8.2", parcae::rt::swaptionsParams());
-  return 0;
+int main(int argc, char **argv) {
+  return parcae::rt::laneBenchMain(argc, argv, "Figure 8.2",
+                                   parcae::rt::swaptionsParams());
 }

@@ -9,7 +9,7 @@
 
 #include "LaneBenchCommon.h"
 
-int main() {
-  parcae::rt::runLaneFigure("Figure 8.3", parcae::rt::bzipParams());
-  return 0;
+int main(int argc, char **argv) {
+  return parcae::rt::laneBenchMain(argc, argv, "Figure 8.3",
+                                   parcae::rt::bzipParams());
 }

@@ -19,6 +19,7 @@
 #include "nona/Programs.h"
 #include "nona/Run.h"
 #include "support/Table.h"
+#include "telemetry/ChromeTrace.h"
 
 #include <cstdio>
 
@@ -57,7 +58,11 @@ double baselineOf(const std::vector<rt::RegionController::TraceEntry> &Tr) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // `--trace out.trace.json` records all three sub-experiments into one
+  // Chrome trace (the recorder rebases its clock across the simulators).
+  telemetry::TraceFile Trace(telemetry::traceFlagPath(argc, argv));
+
   std::printf("== Figure 8.8(a): adaptation to workload change ==\n\n");
   {
     LoopProgram P = makeMonteCarlo(2000000);

@@ -1,0 +1,45 @@
+#!/bin/sh
+# check_trace.sh — end-to-end validation of the telemetry exporter.
+#
+# Runs the trace_viewer example with tracing enabled, has it re-parse and
+# validate its own output (--check uses the in-tree JSON parser), and then
+# greps the file for the structural landmarks the acceptance criteria
+# name: controller FSM spans, at least one reconfiguration instant, and
+# per-core busy spans.
+#
+# Usage: check_trace.sh <path-to-example_trace_viewer> [workdir]
+
+set -eu
+
+VIEWER=${1:?usage: check_trace.sh <example_trace_viewer> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+TRACE="$WORKDIR/check.trace.json"
+
+"$VIEWER" --trace "$TRACE" --check
+
+fail() {
+  echo "check_trace.sh: FAIL: $1" >&2
+  exit 1
+}
+
+[ -s "$TRACE" ] || fail "trace file missing or empty: $TRACE"
+
+# Controller FSM spans (named after the states of Figure 6.3).
+grep -q '"CALIBRATE"' "$TRACE" || fail "no CALIBRATE span in trace"
+grep -q '"OPTIMIZE"' "$TRACE" || fail "no OPTIMIZE span in trace"
+grep -q '"MONITOR"' "$TRACE" || fail "no MONITOR span in trace"
+
+# At least one scheme/DoP reconfiguration instant.
+grep -Eq '"dop_move"|"reconfigure_in_place"|"transition"' "$TRACE" ||
+  fail "no reconfiguration event in trace"
+
+# Per-core busy spans: the machine process names core tracks, and B/E
+# span events reference the core category.
+grep -q '"core 0"' "$TRACE" || fail "no core-track metadata in trace"
+grep -q '"cat":"core"' "$TRACE" || fail "no per-core busy spans in trace"
+
+# The metrics dump lands next to the trace.
+[ -s "$TRACE.metrics.txt" ] || fail "metrics dump missing: $TRACE.metrics.txt"
+grep -q '^counter ' "$TRACE.metrics.txt" || fail "metrics dump has no counters"
+
+echo "check_trace.sh: OK ($TRACE)"

@@ -180,6 +180,10 @@ public:
   double getValue(const std::string &Feature) const {
     return Monitor.getValue(Feature);
   }
+  /// Probes a feature that may not be registered on this platform.
+  std::optional<double> tryGetValue(const std::string &Feature) const {
+    return Monitor.tryGetValue(Feature);
+  }
 
   /// The lowered flexible region (inspection/testing).
   rt::FlexibleRegion &region() {

@@ -24,12 +24,16 @@
 #define PARCAE_DECIMA_MONITOR_H
 
 #include "morta/RegionExec.h"
+#include "sim/Simulator.h"
 #include "sim/Time.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace parcae::rt {
 
@@ -54,6 +58,16 @@ public:
     return It->second();
   }
 
+  /// Reads a feature that may not be registered on this platform —
+  /// mechanisms probe optional sensors ("Temperature", "SystemPower")
+  /// whose presence is workload- and machine-dependent.
+  std::optional<double> tryGetValue(const std::string &Feature) const {
+    auto It = Features.find(Feature);
+    if (It == Features.end())
+      return std::nullopt;
+    return It->second();
+  }
+
   /// Average execution (compute) time per iteration of a task, in cycles —
   /// the paper's Parcae::getExecTime.
   static double getExecTime(const RegionExec &R, unsigned TaskIdx) {
@@ -71,6 +85,75 @@ public:
 
 private:
   std::map<std::string, std::function<double()>> Features;
+};
+
+/// Periodically samples a set of named platform features into the trace
+/// (as counter tracks) and the metrics registry (as gauges). Features not
+/// registered on this platform are skipped — their presence is workload-
+/// and machine-dependent, so the sampler probes with tryGetValue.
+class FeatureSampler {
+public:
+  FeatureSampler(sim::Simulator &Sim, const Decima &D,
+                 std::vector<std::string> Features,
+                 sim::SimTime Period = 100 * sim::USec)
+      : Sim(Sim), D(D), Features(std::move(Features)), Period(Period) {
+#if PARCAE_TELEMETRY_ENABLED
+    Tel = telemetry::recorder();
+    if (Tel) {
+      Tel->bindClock(Sim);
+      TelPid = Tel->processFor("decima");
+      Tel->nameThread(TelPid, 0, "features");
+    }
+#endif
+  }
+
+  /// Takes the first sample now and re-arms every period until stop().
+  void start() {
+    assert(!Running && "sampler already running");
+    Running = true;
+    sampleOnce();
+    arm();
+  }
+
+  void stop() { Running = false; }
+
+  /// Samples every present feature immediately (also usable standalone).
+  void sampleOnce() {
+    for (const std::string &F : Features) {
+      std::optional<double> V = D.tryGetValue(F);
+      if (!V)
+        continue;
+      ++Samples;
+      if (Tel) {
+        Tel->counter(TelPid, 0, "decima", F, *V);
+        Tel->metrics().gauge("decima." + F).set(*V);
+        Tel->metrics().histogram("decima." + F + ".dist").add(*V);
+      }
+    }
+  }
+
+  std::uint64_t samplesTaken() const { return Samples; }
+
+private:
+  void arm() {
+    Sim.schedule(Period, [this] {
+      if (!Running)
+        return;
+      sampleOnce();
+      arm();
+    });
+  }
+
+  sim::Simulator &Sim;
+  const Decima &D;
+  std::vector<std::string> Features;
+  sim::SimTime Period;
+  bool Running = false;
+  std::uint64_t Samples = 0;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
 };
 
 /// Windowed rate from a monotone counter: iterations per second between

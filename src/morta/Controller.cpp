@@ -24,7 +24,30 @@ const char *parcae::rt::ctrlStateName(CtrlState S) {
 }
 
 RegionController::RegionController(RegionRunner &Runner, ControllerParams P)
-    : Runner(Runner), P(P), Sim(Runner.machine().sim()) {}
+    : Runner(Runner), P(P), Sim(Runner.machine().sim()) {
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    TelPid = Tel->processFor(Runner.region().name());
+    Tel->nameThread(TelPid, telemetry::TidController, "controller");
+    ThrMetric = &Tel->metrics().histogram("ctrl." + Runner.region().name() +
+                                          ".throughput");
+  }
+#endif
+}
+
+void RegionController::transitionTo(CtrlState NewSt) {
+  if (Tel) {
+    if (TelSpanOpen)
+      Tel->end(TelPid, telemetry::TidController, "ctrl", ctrlStateName(St));
+    Tel->begin(TelPid, telemetry::TidController, "ctrl",
+               ctrlStateName(NewSt),
+               {telemetry::TraceArg::str("config", Runner.config().str()),
+                telemetry::TraceArg::num("budget", Budget)});
+    TelSpanOpen = true;
+  }
+  St = NewSt;
+}
 
 void RegionController::start(unsigned ThreadBudget) {
   assert(!Started && "controller already started");
@@ -51,6 +74,8 @@ void RegionController::scheduleTick() {
 
 void RegionController::recordTrace(double Thr) {
   Trace.push_back({Sim.now(), St, Runner.config(), Thr});
+  if (Tel && Thr > 0)
+    ThrMetric->add(Thr);
 }
 
 void RegionController::applyConfig(RegionConfig C) {
@@ -91,7 +116,7 @@ double RegionController::measuredRate() const {
 
 void RegionController::tick() {
   if (Runner.completed()) {
-    St = CtrlState::Done;
+    transitionTo(CtrlState::Done);
     return;
   }
   if (!Runner.transitioning()) {
@@ -149,6 +174,13 @@ void RegionController::tick() {
       }
       case CtrlState::Calibrate:
         recordTrace(Thr);
+        PARCAE_TRACE(
+            Tel, instant(TelPid, telemetry::TidController, "ctrl",
+                         "calibrated",
+                         {telemetry::TraceArg::str("config",
+                                                   Runner.config().str()),
+                          telemetry::TraceArg::num("thr", Thr),
+                          telemetry::TraceArg::num("thr_seq", Tseq)}));
         enterOptimize(Thr);
         break;
       case CtrlState::Optimize:
@@ -161,6 +193,13 @@ void RegionController::tick() {
         } else {
           double Rel = std::abs(Thr - MonitorBaseThr) / MonitorBaseThr;
           if (Rel > P.MonitorThreshold) {
+            PARCAE_TRACE(
+                Tel, instant(TelPid, telemetry::TidController, "ctrl",
+                             "monitor_drift",
+                             {telemetry::TraceArg::num("thr_base",
+                                                       MonitorBaseThr),
+                              telemetry::TraceArg::num("thr", Thr),
+                              telemetry::TraceArg::num("rel", Rel)}));
             // Workload changed (T4->2): re-calibrate the current scheme,
             // resetting the DoP if throughput dropped.
             Scheme S = Runner.config().S;
@@ -200,7 +239,7 @@ void RegionController::tick() {
 }
 
 void RegionController::enterInit() {
-  St = CtrlState::Init;
+  transitionTo(CtrlState::Init);
   RegionConfig SeqC = Runner.region().unitConfig(Scheme::Seq);
   Runner.start(SeqC);
   recordTrace(0);
@@ -208,7 +247,7 @@ void RegionController::enterInit() {
 }
 
 void RegionController::enterCalibrate(RegionConfig C) {
-  St = CtrlState::Calibrate;
+  transitionTo(CtrlState::Calibrate);
   if (SchemeIdx == 0)
     BudgetLimited = false;
   applyConfig(std::move(C));
@@ -217,7 +256,7 @@ void RegionController::enterCalibrate(RegionConfig C) {
 }
 
 void RegionController::enterOptimize(double BaseThr) {
-  St = CtrlState::Optimize;
+  transitionTo(CtrlState::Optimize);
   const RegionDesc &V = Runner.region().variant(Runner.config().S);
   Opt = OptState();
   Opt.Opt.assign(V.numTasks(), false);
@@ -261,6 +300,18 @@ void RegionController::enterOptimize(double BaseThr) {
 void RegionController::stepOptimize(double Thr) {
   recordTrace(Thr);
   unsigned Cur = Runner.config().DoP[Opt.TaskIdx];
+  // Telemetry: every DoP move of the gradient ascent, with the throughput
+  // measured before (at the previous DoP) and after (at the current one).
+  double ThrBefore = Opt.PrevThr;
+  auto dopMove = [&](const char *Kind, unsigned From, unsigned To) {
+    PARCAE_TRACE(
+        Tel, instant(TelPid, telemetry::TidController, "ctrl", Kind,
+                     {telemetry::TraceArg::num("task", Opt.TaskIdx),
+                      telemetry::TraceArg::num("dop_from", From),
+                      telemetry::TraceArg::num("dop_to", To),
+                      telemetry::TraceArg::num("thr_before", ThrBefore),
+                      telemetry::TraceArg::num("thr_after", Thr)}));
+  };
   // Relative finite difference; tiny changes count as zero.
   double Delta = Opt.PrevThr > 0 ? (Thr - Opt.PrevThr) / Opt.PrevThr
                                  : (Thr > 0 ? 1.0 : 0.0);
@@ -294,6 +345,7 @@ void RegionController::stepOptimize(double Thr) {
     if (Feasible) {
       RegionConfig C = Runner.config();
       C.DoP[Opt.TaskIdx] = Next;
+      dopMove("dop_move", Cur, Next);
       applyConfig(std::move(C));
       beginMeasure(measureWindowIters());
       return;
@@ -308,6 +360,7 @@ void RegionController::stepOptimize(double Thr) {
     Opt.TriedDown = true;
     RegionConfig C = Runner.config();
     C.DoP[Opt.TaskIdx] = Opt.PrevDoP - 1;
+    dopMove("dop_move", Cur, Opt.PrevDoP - 1);
     applyConfig(std::move(C));
     beginMeasure(measureWindowIters());
     return;
@@ -316,6 +369,7 @@ void RegionController::stepOptimize(double Thr) {
     RegionConfig C = Runner.config();
     if (C.DoP[Opt.TaskIdx] != Opt.PrevDoP) {
       C.DoP[Opt.TaskIdx] = Opt.PrevDoP;
+      dopMove("dop_revert", Cur, Opt.PrevDoP);
       applyConfig(std::move(C));
     }
   }
@@ -374,6 +428,13 @@ void RegionController::finishSchemeSearch(double Thr) {
     return;
   // All schemes explored: enforce the best configuration and monitor.
   Cache.push_back({Budget, Best.C, Best.Thr, BudgetLimited});
+  PARCAE_TRACE(
+      Tel, instant(TelPid, telemetry::TidController, "ctrl", "enforce",
+                   {telemetry::TraceArg::str("config", Best.C.str()),
+                    telemetry::TraceArg::num("thr", Best.Thr),
+                    telemetry::TraceArg::num("thr_seq", Tseq),
+                    telemetry::TraceArg::num("budget_limited",
+                                             BudgetLimited ? 1 : 0)}));
   applyConfig(Best.C);
   enterMonitor();
   if (OnOptimized)
@@ -389,7 +450,7 @@ bool RegionController::nextScheme() {
 }
 
 void RegionController::enterMonitor() {
-  St = CtrlState::Monitor;
+  transitionTo(CtrlState::Monitor);
   MonitorBaseThr = 0.0;
   recordTrace(0);
   beginMeasure(measureWindowIters() * 4);
@@ -459,6 +520,10 @@ void RegionController::setThreadBudget(unsigned N) {
   }
   unsigned Old = Budget;
   Budget = N;
+  PARCAE_TRACE(Tel,
+               instant(TelPid, telemetry::TidController, "ctrl", "budget",
+                       {telemetry::TraceArg::num("from", Old),
+                        telemetry::TraceArg::num("to", N)}));
   if (St == CtrlState::Init)
     return; // the baseline phase proceeds; the new budget applies after it
   recordTrace(0);

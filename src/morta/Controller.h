@@ -30,6 +30,7 @@
 #include "decima/Monitor.h"
 #include "morta/RegionRunner.h"
 #include "sim/Simulator.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdint>
 #include <functional>
@@ -107,6 +108,10 @@ private:
 
   void tick();
   void scheduleTick();
+  /// Sets the FSM state, closing/opening the telemetry state span (each
+  /// logical phase entry gets its own span, even INIT -> CALIBRATE ->
+  /// CALIBRATE across schemes).
+  void transitionTo(CtrlState NewSt);
   void applyConfig(RegionConfig C);
   void beginMeasure(std::uint64_t Iters);
   bool measureReady() const;
@@ -177,6 +182,12 @@ private:
   std::vector<TraceEntry> Trace;
   bool TickScheduled = false;
   bool Started = false;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
+  bool TelSpanOpen = false;
+  Histogram *ThrMetric = nullptr;
 };
 
 } // namespace parcae::rt

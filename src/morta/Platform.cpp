@@ -6,12 +6,33 @@
 
 using namespace parcae::rt;
 
+void PlatformDaemon::traceBudgets(const char *Why) {
+  if (!Tel)
+    return;
+  std::vector<telemetry::TraceArg> Args;
+  Args.push_back(telemetry::TraceArg::str("why", Why));
+  Args.push_back(telemetry::TraceArg::num(
+      "programs", static_cast<double>(Programs.size())));
+  unsigned Committed = 0;
+  for (std::size_t I = 0; I < Programs.size(); ++I) {
+    Args.push_back(telemetry::TraceArg::num("P" + std::to_string(I),
+                                            Programs[I].Budget));
+    Committed += Programs[I].Budget;
+    Tel->counter(TelPid, 0, "platform", "budget:P" + std::to_string(I),
+                 Programs[I].Budget);
+  }
+  Args.push_back(telemetry::TraceArg::num("committed", Committed));
+  Tel->instant(TelPid, 0, "platform", "repartition", std::move(Args));
+  Tel->metrics().counter("platform.repartitions").add();
+}
+
 void PlatformDaemon::addProgram(RegionController &C) {
   Programs.push_back({&C, 0, 0});
   C.OnOptimized = [this, Ctrl = &C](unsigned Used) {
     onOptimized(Ctrl, Used);
   };
   partition();
+  traceBudgets("add_program");
   // Start the newcomer under its assigned budget; re-budget the others.
   for (Entry &E : Programs) {
     if (E.Ctrl == &C) {
@@ -34,6 +55,7 @@ void PlatformDaemon::removeProgram(RegionController &C) {
   if (Programs.empty())
     return;
   partition();
+  traceBudgets("remove_program");
   for (Entry &E : Programs)
     E.Ctrl->setThreadBudget(E.Budget);
 }
@@ -118,6 +140,7 @@ void PlatformDaemon::rebalanceOnce() {
         --Rem;
     }
   }
+  std::vector<Entry *> Notify;
   for (std::size_t I = 0; I < Programs.size(); ++I) {
     Entry &E = Programs[I];
     if (NewBudget[I] == E.Budget)
@@ -128,6 +151,10 @@ void PlatformDaemon::rebalanceOnce() {
       E.Used = 0; // will re-report after re-optimizing with more threads
       E.ShrunkToFit = false;
     }
-    E.Ctrl->setThreadBudget(E.Budget);
+    Notify.push_back(&E);
   }
+  if (!Notify.empty())
+    traceBudgets("rebalance");
+  for (Entry *E : Notify)
+    E->Ctrl->setThreadBudget(E->Budget);
 }

@@ -31,6 +31,13 @@ public:
   explicit PlatformDaemon(unsigned TotalThreads)
       : TotalThreads(TotalThreads) {
     assert(TotalThreads >= 1 && "platform needs at least one thread");
+#if PARCAE_TELEMETRY_ENABLED
+    Tel = telemetry::recorder();
+    if (Tel) {
+      TelPid = Tel->processFor("platform");
+      Tel->nameThread(TelPid, 0, "daemon");
+    }
+#endif
   }
 
   /// Registers a program (its controller). Budgets of all programs are
@@ -64,11 +71,17 @@ private:
   void onOptimized(RegionController *C, unsigned Used);
   void rebalance();
   void rebalanceOnce();
+  /// Telemetry: one repartition instant carrying every program's budget.
+  void traceBudgets(const char *Why);
 
   unsigned TotalThreads;
   std::vector<Entry> Programs;
   bool InRebalance = false;
   bool RebalancePending = false;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
 };
 
 } // namespace parcae::rt

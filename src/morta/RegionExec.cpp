@@ -52,6 +52,17 @@ RegionExec::RegionExec(sim::Machine &M, const RuntimeCosts &Costs,
   Stats.resize(Desc.numTasks());
   ActiveByTask.resize(Desc.numTasks());
   HasWorker.assign(Desc.numTasks(), std::vector<bool>(MaxWidth, false));
+
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    TelPid = Tel->processFor(Desc.Name);
+    Tel->nameThread(TelPid, telemetry::TidExec, "exec");
+    for (unsigned T = 0; T < Desc.numTasks(); ++T)
+      Tel->nameThread(TelPid, 1 + T, "task " + Desc.Tasks[T].name());
+    RetiredMetric = &Tel->metrics().counter("exec." + Desc.Name + ".retired");
+  }
+#endif
 }
 
 RegionExec::~RegionExec() = default;
@@ -59,6 +70,9 @@ RegionExec::~RegionExec() = default;
 void RegionExec::start() {
   assert(!Started && "region already started");
   Started = true;
+  PARCAE_TRACE(Tel, begin(TelPid, telemetry::TidExec, "exec", Config.str(),
+                          {telemetry::TraceArg::num(
+                              "start_seq", static_cast<double>(NextSeq))}));
   for (unsigned T = 0; T < Desc.numTasks(); ++T)
     for (unsigned S = 0; S < Config.DoP[T]; ++S)
       spawnWorker(T, S, NextSeq);
@@ -81,6 +95,9 @@ void RegionExec::requestPause() {
   if (PauseBound != NoSeq || Completed)
     return;
   PauseBound = NextSeq;
+  PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidExec, "exec", "pause",
+                            {telemetry::TraceArg::num(
+                                "bound", static_cast<double>(PauseBound))}));
   BoundEvent.notifyAll();
 }
 
@@ -114,6 +131,12 @@ void RegionExec::reconfigureInPlace(const std::vector<unsigned> &NewDoP) {
     // iterations (their next owned iteration becomes NoSeq).
   }
   Config.DoP = NewDoP;
+  PARCAE_TRACE(Tel,
+               instant(TelPid, telemetry::TidExec, "exec",
+                       "reconfigure_in_place",
+                       {telemetry::TraceArg::str("config", Config.str()),
+                        telemetry::TraceArg::num("handoff_seq",
+                                                 static_cast<double>(B))}));
   // Wake workers blocked on iterations the new routing reassigned; they
   // re-derive their cursor from the updated schedule.
   BoundEvent.notifyAll();
@@ -147,10 +170,15 @@ void RegionExec::onWorkerExit(Worker *W, TaskStatus Status) {
   if (ActiveWorkers == 0) {
     if (EndBound != NoSeq && EndBound <= PauseBound) {
       Completed = true;
+      PARCAE_TRACE(Tel, end(TelPid, telemetry::TidExec, "exec", Config.str(),
+                            {telemetry::TraceArg::str("exit", "complete")}));
       if (OnComplete)
         OnComplete();
-    } else if (OnQuiescent) {
-      OnQuiescent();
+    } else {
+      PARCAE_TRACE(Tel, end(TelPid, telemetry::TidExec, "exec", Config.str(),
+                            {telemetry::TraceArg::str("exit", "quiescent")}));
+      if (OnQuiescent)
+        OnQuiescent();
     }
   }
 }
@@ -171,6 +199,12 @@ void RegionExec::updateLowWater(unsigned TaskIdx) {
 void RegionExec::retireIteration(unsigned TaskIdx) {
   (void)TaskIdx;
   ++IterationsRetired;
+  if (Tel) {
+    RetiredMetric->add();
+    if ((IterationsRetired & 63) == 0)
+      Tel->counter(TelPid, telemetry::TidExec, "exec", "retired",
+                   static_cast<double>(IterationsRetired));
+  }
 }
 
 SimLock &RegionExec::lockFor(int LockId) {

@@ -37,6 +37,7 @@
 #include "core/WidthSchedule.h"
 #include "core/WorkSource.h"
 #include "sim/Machine.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdint>
 #include <functional>
@@ -124,6 +125,14 @@ private:
   void onWorkerExit(Worker *W, TaskStatus Status);
   void updateLowWater(unsigned TaskIdx);
   void retireIteration(unsigned TaskIdx);
+  /// Telemetry hook after a task finishes one iteration: samples the
+  /// per-task iteration counter (every 64th to bound trace size).
+  void noteIteration(unsigned TaskIdx) {
+    if (Tel && (Stats[TaskIdx].Iterations & 63) == 0)
+      Tel->counter(TelPid, 1 + TaskIdx, "task",
+                   "iters:" + Desc.Tasks[TaskIdx].name(),
+                   static_cast<double>(Stats[TaskIdx].Iterations));
+  }
   SimLock &lockFor(int LockId);
 
   void spawnWorker(unsigned TaskIdx, unsigned Slot, std::uint64_t CursorFrom);
@@ -159,6 +168,11 @@ private:
   bool Started = false;
   bool Completed = false;
   std::uint64_t IterationsRetired = 0;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
+  telemetry::Counter *RetiredMetric = nullptr;
 };
 
 } // namespace parcae::rt

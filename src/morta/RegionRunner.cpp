@@ -8,7 +8,15 @@ using namespace parcae::rt;
 
 RegionRunner::RegionRunner(sim::Machine &M, const RuntimeCosts &Costs,
                            const FlexibleRegion &Region, WorkSource &Source)
-    : M(M), Costs(Costs), Region(Region), Source(Source) {}
+    : M(M), Costs(Costs), Region(Region), Source(Source) {
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    TelPid = Tel->processFor(Region.name());
+    Tel->nameThread(TelPid, telemetry::TidRunner, "runner");
+  }
+#endif
+}
 
 RegionRunner::~RegionRunner() = default;
 
@@ -48,6 +56,8 @@ bool RegionRunner::reconfigure(RegionConfig Target) {
     return false;
 
   ++Reconfigurations;
+  if (Tel)
+    Tel->metrics().counter("runner." + Region.name() + ".reconfigs").add();
   if (Target.S == Config.S && Exec && Exec->canReconfigureInPlace()) {
     Exec->reconfigureInPlace(Target.DoP);
     Config = std::move(Target);
@@ -58,6 +68,12 @@ bool RegionRunner::reconfigure(RegionConfig Target) {
 
   // Full path: pause, drain, then resume under the new configuration.
   ++FullPauses;
+  if (Tel) {
+    Tel->metrics().counter("runner." + Region.name() + ".full_pauses").add();
+    Tel->begin(TelPid, telemetry::TidRunner, "runner", "transition",
+               {telemetry::TraceArg::str("from", Config.str()),
+                telemetry::TraceArg::str("to", Target.str())});
+  }
   Transitioning = true;
   Pending = std::move(Target);
   PauseRequestedAt = M.sim().now();
@@ -86,6 +102,8 @@ void RegionRunner::onQuiescent() {
   M.sim().schedule(Delay, [this, Next = std::move(Next), StartSeq]() mutable {
     Transitioning = false;
     Retiring.reset();
+    PARCAE_TRACE(Tel, end(TelPid, telemetry::TidRunner, "runner",
+                          "transition"));
     beginExec(std::move(Next), StartSeq);
     if (OnReconfigured)
       OnReconfigured();

@@ -100,6 +100,10 @@ private:
   unsigned Reconfigurations = 0;
   unsigned FullPauses = 0;
   sim::SimTime PauseRequestedAt = 0;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
 };
 
 } // namespace parcae::rt

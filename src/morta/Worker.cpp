@@ -94,6 +94,7 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
 
   case State::IterDone:
     ++R.Stats[TaskIdx].Iterations;
+    R.noteIteration(TaskIdx);
     if (IsTail)
       R.retireIteration(TaskIdx);
     InIteration = false;

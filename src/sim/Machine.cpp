@@ -26,6 +26,18 @@ void Waitable::notifyOne() {
 Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
     : Sim(Sim), Cfg(Cfg), Cores(NumCores) {
   assert(NumCores > 0 && "machine needs at least one core");
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    Tel->bindClock(Sim);
+    TelPid = Tel->processFor("machine");
+    for (unsigned I = 0; I < NumCores; ++I)
+      Tel->nameThread(TelPid, I, "core " + std::to_string(I));
+    CtxSwitchMetric = &Tel->metrics().counter("machine.ctx_switches");
+    SliceMetric = &Tel->metrics().counter("machine.slices");
+    TelCoreSpan.assign(NumCores, nullptr);
+  }
+#endif
 }
 
 Machine::~Machine() = default;
@@ -76,6 +88,35 @@ void Machine::dispatch() {
     tryAssign();
   } while (DispatchPending);
   InDispatch = false;
+  // The busy count is sampled here, once it has settled: the transient
+  // dip-and-recover of an end-slice/start-slice pair at one timestamp
+  // would otherwise flood the trace with a counter event per quantum.
+  if (Tel)
+    emitBusySample();
+}
+
+void Machine::emitBusySample() {
+  // One sample per gate interval of virtual time: workers blocking
+  // between iterations make the settled count oscillate far faster than
+  // any viewer needs. A suppressed change arms a one-shot flush, so the
+  // series still lands on the final value once the burst passes.
+  static constexpr SimTime Gate = 20 * USec;
+  if (BusyCount == TelBusyEmitted)
+    return;
+  SimTime Now = Sim.now();
+  if (TelBusyEmitted != ~0u && Now < TelBusyLastTs + Gate) {
+    if (!TelBusyFlushArmed) {
+      TelBusyFlushArmed = true;
+      Sim.schedule(TelBusyLastTs + Gate - Now, [this] {
+        TelBusyFlushArmed = false;
+        emitBusySample();
+      });
+    }
+    return;
+  }
+  TelBusyEmitted = BusyCount;
+  TelBusyLastTs = Now;
+  Tel->counter(TelPid, 0, "machine", "busy_cores", BusyCount);
 }
 
 void Machine::tryAssign() {
@@ -150,6 +191,14 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
       T->State = ThreadState::Finished;
       assert(AliveCount > 0);
       --AliveCount;
+      if (Tel) {
+        // Close the thread's occupancy span; it will never run again.
+        for (unsigned I = 0; I < TelCoreSpan.size(); ++I)
+          if (TelCoreSpan[I] == T) {
+            Tel->end(TelPid, I, "core", T->name());
+            TelCoreSpan[I] = nullptr;
+          }
+      }
       T->ExitEvent.notifyAll();
       return;
     }
@@ -164,6 +213,23 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
                          ? Cfg.CtxSwitchCost + Cfg.CacheRefillCost
                          : 0;
   SimTime SliceLen = std::min(T->RemainingBurst, Cfg.Quantum);
+  if (Tel) {
+    SliceMetric->add();
+    if (Overhead > 0) {
+      CtxSwitchMetric->add();
+      Tel->instant(TelPid, CoreIdx, "machine", "ctx_switch",
+                   {telemetry::TraceArg::num(
+                       "cost_us", toSeconds(Overhead) * 1e6)});
+    }
+    // One span per occupancy epoch: back-to-back slices of the same
+    // thread on the same core continue the open span.
+    if (TelCoreSpan[CoreIdx] != T) {
+      if (TelCoreSpan[CoreIdx])
+        Tel->end(TelPid, CoreIdx, "core", TelCoreSpan[CoreIdx]->name());
+      Tel->begin(TelPid, CoreIdx, "core", T->name());
+      TelCoreSpan[CoreIdx] = T;
+    }
+  }
   Sim.schedule(Overhead + SliceLen,
                [this, CoreIdx, T, SliceLen] { endSlice(CoreIdx, T, SliceLen); });
 }

@@ -24,6 +24,7 @@
 
 #include "sim/Simulator.h"
 #include "sim/Time.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <cstdint>
@@ -177,6 +178,11 @@ public:
   /// meter. Receives the *previous* count's end time implicitly via now().
   std::function<void(unsigned NewBusyCount)> OnBusyCountChange;
 
+  /// Telemetry sink (null = tracing off). Picked up from the process-wide
+  /// recorder at construction; the machine binds the recorder's virtual
+  /// clock to its simulator, rebasing time across successive runs.
+  telemetry::TraceRecorder *traceRecorder() { return Tel; }
+
 private:
   friend class Waitable;
 
@@ -192,6 +198,7 @@ private:
   bool tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles);
   void endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen);
   void setBusyCount(unsigned N);
+  void emitBusySample();
 
   Simulator &Sim;
   MachineConfig Cfg;
@@ -207,6 +214,20 @@ private:
   // Busy-core-time integral bookkeeping.
   mutable SimTime BusyIntegral = 0;
   mutable SimTime BusyIntegralLast = 0;
+  // Telemetry (null when tracing is off; every emission is one pointer
+  // test on the hot path then).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
+  telemetry::Counter *CtxSwitchMetric = nullptr;
+  telemetry::Counter *SliceMetric = nullptr;
+  /// Open core-occupancy span per core: consecutive slices of one thread
+  /// coalesce into a single span (a trace event per quantum would flood).
+  std::vector<SimThread *> TelCoreSpan;
+  /// Last busy_cores value emitted; sampled at settled dispatch points
+  /// and rate-limited to one sample per gate interval of virtual time.
+  unsigned TelBusyEmitted = ~0u;
+  SimTime TelBusyLastTs = 0;
+  bool TelBusyFlushArmed = false;
 };
 
 } // namespace parcae::sim

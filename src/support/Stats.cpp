@@ -31,6 +31,25 @@ double SampleSet::mean() const {
   return Sum / static_cast<double>(Samples.size());
 }
 
+void SampleSet::decimate() {
+  std::size_t Out = 0;
+  for (std::size_t I = 0; I < Samples.size(); I += 2)
+    Samples[Out++] = Samples[I];
+  Samples.resize(Out);
+}
+
+void Histogram::add(double X) {
+  Stats.add(X);
+  if (++SinceLast < Stride)
+    return;
+  SinceLast = 0;
+  Samples.add(X);
+  if (Samples.count() >= MaxSamples) {
+    Samples.decimate();
+    Stride *= 2;
+  }
+}
+
 double SampleSet::percentile(double P) const {
   if (Samples.empty())
     return 0.0;

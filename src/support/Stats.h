@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace parcae {
@@ -83,9 +84,48 @@ public:
   double percentile(double P) const;
   double min() const { return percentile(0); }
   double max() const { return percentile(100); }
+  /// Drops every other recorded sample (bounds memory on long runs).
+  void decimate();
 
 private:
   std::vector<double> Samples;
+};
+
+/// Percentile histogram: O(1) moments plus recorded samples for p50/p95/p99
+/// queries. Beyond \p MaxSamples the recorded set is decimated (every other
+/// sample kept), so memory stays bounded while the tail percentiles remain
+/// representative. Used by the telemetry metrics registry.
+class Histogram {
+public:
+  explicit Histogram(std::size_t MaxSamples = 1u << 16)
+      : MaxSamples(MaxSamples) {
+    assert(MaxSamples >= 2 && "histogram needs room for samples");
+  }
+
+  void add(double X);
+
+  std::size_t count() const { return Stats.count(); }
+  bool empty() const { return Stats.empty(); }
+  double mean() const { return Stats.mean(); }
+  double min() const { return Stats.min(); }
+  double max() const { return Stats.max(); }
+  double stddev() const { return Stats.stddev(); }
+
+  /// Nearest-rank percentile over the recorded samples; \p P in [0, 100].
+  double percentile(double P) const { return Samples.percentile(P); }
+  double p50() const { return percentile(50); }
+  double p95() const { return percentile(95); }
+  double p99() const { return percentile(99); }
+
+  /// 1 while every sample is still recorded; doubles per decimation.
+  std::uint64_t sampleStride() const { return Stride; }
+
+private:
+  OnlineStats Stats;
+  SampleSet Samples;
+  std::size_t MaxSamples;
+  std::uint64_t Stride = 1;  ///< record every Stride-th sample
+  std::uint64_t SinceLast = 0;
 };
 
 } // namespace parcae

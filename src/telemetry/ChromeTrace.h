@@ -1,0 +1,101 @@
+//===- ChromeTrace.h - Trace and metrics exporters --------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters for the telemetry layer:
+///
+///  * Chrome trace-event JSON — loads in Perfetto (ui.perfetto.dev) or
+///    chrome://tracing; process/thread metadata events name the tracks;
+///  * flat metrics text dump (MetricsSnapshot::text);
+///  * a minimal JSON parser (telemetry::json) used to validate emitted
+///    traces in tests and in scripts/check_trace.sh — deliberately tiny,
+///    no external dependency;
+///  * TraceFile — the `--trace <file.json>` RAII helper benchmark mains
+///    use: installs a process-wide recorder on construction, writes the
+///    trace (and a metrics dump next to it) on destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_TELEMETRY_CHROMETRACE_H
+#define PARCAE_TELEMETRY_CHROMETRACE_H
+
+#include "telemetry/Telemetry.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parcae::telemetry {
+
+/// Renders the recorded events as Chrome trace-event JSON (the "JSON
+/// object format": {"traceEvents": [...], "displayTimeUnit": "ms"}).
+/// Timestamps are exported in microseconds, the format's native unit.
+std::string toChromeTraceJson(const TraceRecorder &R);
+
+/// Writes toChromeTraceJson(R) to \p Path. Returns false on I/O error.
+bool writeChromeTrace(const TraceRecorder &R, const std::string &Path);
+
+/// Validates that \p Json parses and is a structurally sound Chrome
+/// trace: traceEvents array present, every event carries name/ph/ts/pid/
+/// tid, span begins/ends balance per track, and timestamps are monotone.
+/// On failure returns false and describes the problem in \p Err.
+bool validateChromeTrace(const std::string &Json, std::string *Err = nullptr);
+
+/// Minimal recursive-descent JSON parser (objects, arrays, strings,
+/// numbers, booleans, null). Enough to parse traces back in tests.
+namespace json {
+
+struct Value {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    if (K != Kind::Obj)
+      return nullptr;
+    for (const auto &M : Obj)
+      if (M.first == Key)
+        return &M.second;
+    return nullptr;
+  }
+};
+
+/// Parses \p Text into \p Out. Returns false (with \p Err set) on error.
+bool parse(const std::string &Text, Value &Out, std::string *Err = nullptr);
+
+} // namespace json
+
+/// RAII handle behind the benches' `--trace <file.json>` flag. With a
+/// null path it does nothing (tracing stays off); otherwise it installs a
+/// fresh process-wide recorder and, on destruction, writes the Chrome
+/// trace to the path and a metrics dump alongside it.
+class TraceFile {
+public:
+  explicit TraceFile(const char *Path);
+  ~TraceFile();
+  TraceFile(const TraceFile &) = delete;
+  TraceFile &operator=(const TraceFile &) = delete;
+
+  bool enabled() const { return Rec != nullptr; }
+  TraceRecorder *recorder() { return Rec.get(); }
+
+private:
+  std::string Path;
+  std::unique_ptr<TraceRecorder> Rec;
+};
+
+/// Scans argv for `--trace <file.json>` (or `--trace=<file.json>`);
+/// returns the path or null. Unrelated arguments are ignored.
+const char *traceFlagPath(int Argc, char **Argv);
+
+} // namespace parcae::telemetry
+
+#endif // PARCAE_TELEMETRY_CHROMETRACE_H

@@ -1,0 +1,104 @@
+//===- Metrics.cpp - Named counters, gauges, and histograms ----------------===//
+
+#include "telemetry/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace parcae::telemetry;
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  for (auto &E : Counters)
+    if (E.Name == Name)
+      return *E.M;
+  Counters.push_back({Name, std::make_unique<Counter>()});
+  return *Counters.back().M;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  for (auto &E : Gauges)
+    if (E.Name == Name)
+      return *E.M;
+  Gauges.push_back({Name, std::make_unique<Gauge>()});
+  return *Gauges.back().M;
+}
+
+parcae::Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  for (auto &E : Histograms)
+    if (E.Name == Name)
+      return *E.M;
+  Histograms.push_back({Name, std::make_unique<Histogram>()});
+  return *Histograms.back().M;
+}
+
+void MetricsRegistry::clear() {
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(sim::SimTime Now) const {
+  MetricsSnapshot S;
+  S.At = Now;
+  for (const auto &E : Counters) {
+    MetricRow R;
+    R.K = MetricRow::Kind::Counter;
+    R.Name = E.Name;
+    R.Value = static_cast<double>(E.M->value());
+    S.Rows.push_back(std::move(R));
+  }
+  for (const auto &E : Gauges) {
+    MetricRow R;
+    R.K = MetricRow::Kind::Gauge;
+    R.Name = E.Name;
+    R.Value = E.M->value();
+    S.Rows.push_back(std::move(R));
+  }
+  for (const auto &E : Histograms) {
+    MetricRow R;
+    R.K = MetricRow::Kind::Histogram;
+    R.Name = E.Name;
+    R.Value = static_cast<double>(E.M->count());
+    R.Mean = E.M->mean();
+    R.P50 = E.M->p50();
+    R.P95 = E.M->p95();
+    R.P99 = E.M->p99();
+    R.Min = E.M->min();
+    R.Max = E.M->max();
+    S.Rows.push_back(std::move(R));
+  }
+  std::sort(S.Rows.begin(), S.Rows.end(),
+            [](const MetricRow &A, const MetricRow &B) {
+              return A.Name < B.Name;
+            });
+  return S;
+}
+
+std::string MetricsSnapshot::text() const {
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "# metrics at t=%.6f s\n",
+                sim::toSeconds(At));
+  Out += Buf;
+  for (const MetricRow &R : Rows) {
+    switch (R.K) {
+    case MetricRow::Kind::Counter:
+      std::snprintf(Buf, sizeof(Buf), "counter %s %.0f\n", R.Name.c_str(),
+                    R.Value);
+      break;
+    case MetricRow::Kind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), "gauge %s %.6g\n", R.Name.c_str(),
+                    R.Value);
+      break;
+    case MetricRow::Kind::Histogram:
+      std::snprintf(Buf, sizeof(Buf),
+                    "histogram %s count=%.0f mean=%.6g p50=%.6g p95=%.6g "
+                    "p99=%.6g min=%.6g max=%.6g\n",
+                    R.Name.c_str(), R.Value, R.Mean, R.P50, R.P95, R.P99,
+                    R.Min, R.Max);
+      break;
+    }
+    Out += Buf;
+  }
+  return Out;
+}

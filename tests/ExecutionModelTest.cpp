@@ -189,6 +189,32 @@ TEST(DecimaTest, FeatureRegistry) {
   EXPECT_DOUBLE_EQ(D.getValue("SystemPower"), 700.0);
 }
 
+TEST(DecimaTest, TryGetValueOptionalFeatures) {
+  Decima D;
+  // Probing a sensor this platform does not expose must not assert.
+  EXPECT_FALSE(D.tryGetValue("Temperature").has_value());
+  D.registerFeature("SystemPower", [] { return 650.0; });
+  auto V = D.tryGetValue("SystemPower");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_DOUBLE_EQ(*V, 650.0);
+  EXPECT_FALSE(D.tryGetValue("Temperature").has_value());
+}
+
+TEST(DecimaTest, FeatureSamplerSkipsUnregistered) {
+  sim::Simulator Sim;
+  Decima D;
+  double W = 600;
+  D.registerFeature("SystemPower", [&W] { return W; });
+  // "Temperature" never registers: the sampler probes and skips it.
+  FeatureSampler S(Sim, D, {"SystemPower", "Temperature"},
+                   /*Period=*/100 * sim::USec);
+  S.start();
+  Sim.schedule(250 * sim::USec, [&S] { S.stop(); });
+  Sim.runUntil(1 * sim::MSec);
+  // Samples at t = 0, 100us, 200us; only SystemPower is present.
+  EXPECT_EQ(S.samplesTaken(), 3u);
+}
+
 TEST(DecimaTest, ThroughputWindowRates) {
   ThroughputWindow W;
   W.mark(100, 1 * sim::Sec);

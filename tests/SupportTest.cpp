@@ -134,6 +134,54 @@ TEST(SampleSet, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(S.mean(), 0.0);
 }
 
+TEST(SampleSet, DecimateKeepsEveryOther) {
+  SampleSet S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(I);
+  S.decimate();
+  EXPECT_EQ(S.count(), 5u);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram H;
+  for (int I = 1; I <= 100; ++I)
+    H.add(I);
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_DOUBLE_EQ(H.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(H.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(H.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(H.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(H.min(), 1.0);
+  EXPECT_DOUBLE_EQ(H.max(), 100.0);
+  EXPECT_EQ(H.sampleStride(), 1u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_DOUBLE_EQ(H.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+}
+
+TEST(Histogram, DecimatesBeyondCapacity) {
+  Histogram H(/*MaxSamples=*/64);
+  for (int I = 1; I <= 10000; ++I)
+    H.add(I);
+  // Exact moments come from the O(1) accumulator, not the sample set.
+  EXPECT_EQ(H.count(), 10000u);
+  EXPECT_DOUBLE_EQ(H.mean(), 5000.5);
+  EXPECT_DOUBLE_EQ(H.max(), 10000.0);
+  // The recorded set was decimated: stride grew, memory stayed bounded,
+  // and the tail percentiles remain representative.
+  EXPECT_GT(H.sampleStride(), 1u);
+  EXPECT_NEAR(H.p50(), 5000.0, 0.05 * 10000);
+  EXPECT_NEAR(H.p99(), 9900.0, 0.05 * 10000);
+  EXPECT_GE(H.p99(), H.p95());
+  EXPECT_GE(H.p95(), H.p50());
+}
+
 TEST(Table, FormatsAlignedColumns) {
   Table T({"name", "value"});
   T.addRow({"x", "1"});
