@@ -11,6 +11,7 @@
 #ifndef PARCAE_BENCH_LANEBENCHCOMMON_H
 #define PARCAE_BENCH_LANEBENCHCOMMON_H
 
+#include "support/Rng.h"
 #include "support/Table.h"
 #include "telemetry/ChromeTrace.h"
 #include "workloads/Experiment.h"
@@ -33,10 +34,12 @@ inline void runLaneFigure(const char *Figure, const LaneAppParams &P,
   double Threshold = 2.0 * KPar;
   double Qmax = 4.0 * KPar;
 
+  std::uint64_t Seed = defaultSeed();
   std::printf("== %s: %s response time vs load "
-              "(24-core platform, %llu Poisson requests) ==\n",
+              "(24-core platform, %llu Poisson requests, seed=%llu) ==\n",
               Figure, P.Name.c_str(),
-              static_cast<unsigned long long>(Requests));
+              static_cast<unsigned long long>(Requests),
+              static_cast<unsigned long long>(Seed));
   std::printf("   static A = %s, static B = %s, dPmax=%u dPmin=%u\n\n",
               OuterOnly.str(P.InnerKind).c_str(),
               InnerPar.str(P.InnerKind).c_str(), DPmax, DPmin);
@@ -48,19 +51,23 @@ inline void runLaneFigure(const char *Figure, const LaneAppParams &P,
     double R[4];
     {
       StaticLane M(OuterOnly);
-      R[0] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+      R[0] = runLaneExperiment(P, M, Cores, Load, Requests, Seed)
+                 .MeanResponseSec;
     }
     {
       StaticLane M(InnerPar);
-      R[1] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+      R[1] = runLaneExperiment(P, M, Cores, Load, Requests, Seed)
+                 .MeanResponseSec;
     }
     {
       WqtH M(Threshold, 6, 6, OuterOnly, InnerPar);
-      R[2] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+      R[2] = runLaneExperiment(P, M, Cores, Load, Requests, Seed)
+                 .MeanResponseSec;
     }
     {
       WqLinear M(Cores, DPmax, DPmin, Qmax);
-      R[3] = runLaneExperiment(P, M, Cores, Load, Requests).MeanResponseSec;
+      R[3] = runLaneExperiment(P, M, Cores, Load, Requests, Seed)
+                 .MeanResponseSec;
     }
     const char *Names[] = {"Static<outer>", "Static<inner>", "WQT-H",
                            "WQ-Linear"};
@@ -78,10 +85,12 @@ inline void runLaneFigure(const char *Figure, const LaneAppParams &P,
 }
 
 /// Standard main() body for the lane benchmarks: installs a trace
-/// recorder when `--trace <file.json>` is given, then runs the sweep.
+/// recorder when `--trace <file.json>` is given, picks up `--seed N`,
+/// then runs the sweep.
 inline int laneBenchMain(int Argc, char **Argv, const char *Figure,
                          const LaneAppParams &P) {
   telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
+  setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
   runLaneFigure(Figure, P);
   return 0;
 }

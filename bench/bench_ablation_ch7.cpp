@@ -19,7 +19,9 @@
 
 #include "core/Region.h"
 #include "morta/RegionRunner.h"
+#include "support/Rng.h"
 #include "support/Table.h"
+#include "telemetry/ChromeTrace.h"
 
 #include <cstdio>
 
@@ -108,9 +110,12 @@ std::uint64_t runFineGrained(const RuntimeCosts &Costs) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
+  setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
   std::printf("== Chapter 7 ablation: iterations retired in 200 ms with a"
-              " reconfiguration every 1 ms ==\n\n");
+              " reconfiguration every 1 ms (seed=%llu) ==\n\n",
+              static_cast<unsigned long long>(defaultSeed()));
 
   RuntimeCosts AllOff;
   AllOff.OptimizedDataManagement = false;

@@ -11,7 +11,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Rng.h"
 #include "support/Table.h"
+#include "telemetry/ChromeTrace.h"
 #include "workloads/Experiment.h"
 
 #include <cstdio>
@@ -31,7 +33,8 @@ struct Point {
 Point measure(const LaneAppParams &P, LaneConfig C, double Load,
               std::uint64_t Requests) {
   StaticLane M(C);
-  ServerRunResult R = runLaneExperiment(P, M, 24, Load, Requests);
+  ServerRunResult R = runLaneExperiment(P, M, 24, Load, Requests,
+                                        defaultSeed());
   Point Out;
   Out.ExecSec = sim::toSeconds(P.MeanWork) /
                 (C.InnerParallel ? P.Scal.speedup(C.L) : 1.0);
@@ -42,7 +45,9 @@ Point measure(const LaneAppParams &P, LaneConfig C, double Load,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
+  setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
   LaneAppParams P = x264Params();
   const std::uint64_t Requests = 500; // the paper's M = 500
   LaneConfig OuterOnly{24, false, 1};
@@ -50,8 +55,9 @@ int main() {
   const double Loads[] = {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1};
 
   std::printf("== Figure 2.4: video transcoding on a 24-core platform ==\n");
-  std::printf("   inner speedup S(8) = %.2f (paper: 6.3x)\n\n",
-              P.Scal.speedup(8));
+  std::printf("   inner speedup S(8) = %.2f (paper: 6.3x), seed=%llu\n\n",
+              P.Scal.speedup(8),
+              static_cast<unsigned long long>(defaultSeed()));
 
   Table A({"load", "<24,SEQ> exec(s)", "<3,8> exec(s)"});
   Table B({"load", "<24,SEQ> thr(tx/s)", "<3,8> thr(tx/s)"});
@@ -71,8 +77,8 @@ int main() {
         continue;
       LaneConfig C{K, L > 1, L};
       StaticLane M(C);
-      double R =
-          runLaneExperiment(P, M, 24, Load, Requests).MeanResponseSec;
+      double R = runLaneExperiment(P, M, 24, Load, Requests, defaultSeed())
+                     .MeanResponseSec;
       if (R < BestResp) {
         BestResp = R;
         BestC = C;

@@ -1,0 +1,67 @@
+#!/bin/sh
+# check_resilience.sh — end-to-end validation of the fault model and
+# Morta's failure recovery.
+#
+# Runs bench_resilience twice with a fixed seed and asserts:
+#   * the run recovers (RESILIENCE: OK — complete, ordered output after
+#     two core failures, a straggler window, and transient task faults);
+#   * determinism — the two runs' stdout and Chrome traces are
+#     byte-identical (same seed => same event sequence);
+#   * the trace shows the recovery story: fault injection, watchdog
+#     detection, and the pause/reconfigure/resume of the degraded run.
+#
+# Usage: check_resilience.sh <path-to-bench_resilience> [workdir]
+
+set -eu
+
+BENCH=${1:?usage: check_resilience.sh <bench_resilience> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+SEED=42
+
+fail() {
+  echo "check_resilience.sh: FAIL: $1" >&2
+  exit 1
+}
+
+run() {
+  "$BENCH" --seed $SEED --trace "$WORKDIR/resil.$1.trace.json" \
+    >"$WORKDIR/resil.$1.out" 2>&1 ||
+    fail "run $1 exited non-zero (see $WORKDIR/resil.$1.out)"
+}
+
+run 1
+run 2
+
+grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.1.out" ||
+  fail "run did not recover (no RESILIENCE: OK)"
+
+# Same seed, same virtual-time world: everything must be byte-identical.
+# (The [telemetry] banner embeds the per-run trace path, so drop it.)
+grep -v '^\[telemetry\]' "$WORKDIR/resil.1.out" >"$WORKDIR/resil.1.flt"
+grep -v '^\[telemetry\]' "$WORKDIR/resil.2.out" >"$WORKDIR/resil.2.flt"
+cmp -s "$WORKDIR/resil.1.flt" "$WORKDIR/resil.2.flt" ||
+  fail "stdout differs between identically seeded runs"
+cmp -s "$WORKDIR/resil.1.trace.json" "$WORKDIR/resil.2.trace.json" ||
+  fail "trace differs between identically seeded runs"
+
+TRACE="$WORKDIR/resil.1.trace.json"
+[ -s "$TRACE" ] || fail "trace file missing or empty: $TRACE"
+
+# The recovery story, in trace landmarks: a core fails, the watchdog
+# notices and shrinks capacity, and execution resumes reconfigured.
+grep -q '"fault_offline"' "$TRACE" || fail "no core-offline instant in trace"
+grep -q '"watchdog_detect"' "$TRACE" || fail "no watchdog detection in trace"
+grep -q '"capacity_drop"' "$TRACE" || fail "no capacity-drop instant in trace"
+grep -Eq '"transition"|"recover"' "$TRACE" ||
+  fail "no pause/reconfigure/resume span in trace"
+grep -q '"task_fault"' "$TRACE" || fail "no transient task fault in trace"
+
+# Fault metrics (retries, detections, MTTR) land in the metrics dump.
+METRICS="$TRACE.metrics.txt"
+[ -s "$METRICS" ] || fail "metrics dump missing: $METRICS"
+grep -q 'watchdog\.detections' "$METRICS" || fail "no detection counter"
+grep -q 'watchdog\.mttr_us' "$METRICS" || fail "no MTTR histogram"
+grep -q '\.faults' "$METRICS" || fail "no fault counter"
+
+echo "check_resilience.sh: OK ($TRACE)"

@@ -15,9 +15,13 @@ Parcae::~Parcae() = default;
 
 rt::RegionController &Parcae::launch(const ParDescriptor &Pd,
                                      rt::WorkSource &Work,
-                                     unsigned ThreadBudget) {
+                                     unsigned ThreadBudget,
+                                     const rt::WatchdogParams *Watchdog) {
   assert(!Region && "one launch per Parcae instance");
   Region = std::make_unique<rt::FlexibleRegion>("api-region");
+  // Platform sensors of the fault model are always available to
+  // mechanisms, fault plan or not (they read 0 faults then).
+  rt::registerFaultFeatures(Monitor, M);
 
   // Lower the descriptor to the pipeline region: tasks in array order,
   // channels between adjacent tasks. The functor is wrapped so that
@@ -85,6 +89,10 @@ rt::RegionController &Parcae::launch(const ParDescriptor &Pd,
   Controller = std::make_unique<rt::RegionController>(*Runner);
   unsigned Budget = ThreadBudget ? ThreadBudget : M.numCores();
   Controller->start(Budget);
+  if (Watchdog) {
+    Dog = std::make_unique<rt::Watchdog>(*Controller, *Watchdog);
+    Dog->start();
+  }
   // The paper's launch() blocks until the parallel region ends.
   M.sim().run();
   for (const Task *T : LoweredTasks)

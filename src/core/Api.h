@@ -28,6 +28,7 @@
 #include "decima/Monitor.h"
 #include "morta/Controller.h"
 #include "morta/RegionRunner.h"
+#include "morta/Watchdog.h"
 
 #include <functional>
 #include <memory>
@@ -163,9 +164,24 @@ public:
   /// Registers the region described by \p Pd, feeds it from \p Work, and
   /// runs it under the Morta controller until the simulator drains (the
   /// paper's blocking Parcae::launch). Returns the controller used.
+  /// Passing \p Watchdog arms Morta's liveness watchdog over the run —
+  /// required when the machine has a fault plan installed (a dead core
+  /// otherwise stalls the region forever).
   rt::RegionController &launch(const ParDescriptor &Pd,
                                rt::WorkSource &Work,
-                               unsigned ThreadBudget = 0);
+                               unsigned ThreadBudget = 0,
+                               const rt::WatchdogParams *Watchdog = nullptr);
+
+  /// The watchdog of the current launch, if one was armed.
+  rt::Watchdog *watchdog() { return Dog.get(); }
+
+  // --- Fault counters (Decima-facing) ----------------------------------
+  /// Transient fault attempts observed across the launched region.
+  std::uint64_t faultsObserved() const {
+    return Runner ? Runner->totalFaults() : 0;
+  }
+  /// Abortive recoveries the region went through.
+  unsigned recoveries() const { return Runner ? Runner->recoveries() : 0; }
 
   // --- Figure 5.8: application features --------------------------------
   /// Average compute cycles per instance of \p T in the running region.
@@ -205,6 +221,7 @@ private:
   std::unique_ptr<rt::FlexibleRegion> Region;
   std::unique_ptr<rt::RegionRunner> Runner;
   std::unique_ptr<rt::RegionController> Controller;
+  std::unique_ptr<rt::Watchdog> Dog;
   std::vector<const Task *> LoweredTasks; ///< index-aligned with region
 };
 

@@ -51,6 +51,18 @@ struct RuntimeCosts {
   /// Merging one thread's privatized reduction state (Section 7.4).
   sim::SimTime ReduceMergeCost = 400;
 
+  // --- Fault handling (sim/Faults.h, the Morta recovery path) ----------
+  /// Cycles burned by an execution attempt that raises a transient fault
+  /// before the fault surfaces (detection is cheap; the work is wasted).
+  sim::SimTime FaultAttemptCost = 500;
+  /// First retry backoff after a transient fault; doubles per attempt.
+  sim::SimTime FaultRetryBackoff = 20 * sim::USec;
+  /// Backoff ceiling for the exponential schedule.
+  sim::SimTime FaultRetryBackoffMax = 320 * sim::USec;
+  /// Retries before a transient fault escalates to the watchdog, which
+  /// degrades the region (typically to SEQ) rather than spinning forever.
+  unsigned MaxFaultRetries = 5;
+
   /// Section 7.1: hoist cross-iteration load/save out of the loop.
   bool OptimizedDataManagement = true;
   /// Section 7.2: drain-free DoP changes via iteration-count handoff

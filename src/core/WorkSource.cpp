@@ -8,11 +8,26 @@ WorkSource::~WorkSource() = default;
 
 WorkSource::Pull QueueWorkSource::tryPull(Token &Out) {
   if (!Items.empty()) {
-    Out = std::move(Items.front());
+    Out = Items.front();
     Items.pop_front();
+    History.push_back(Out);
+    if (History.size() > HistoryCap)
+      History.pop_front();
     return Pull::Got;
   }
   return Closed ? Pull::End : Pull::Wait;
+}
+
+bool QueueWorkSource::rewind(std::uint64_t Count) {
+  if (Count > History.size())
+    return false;
+  for (std::uint64_t I = 0; I < Count; ++I) {
+    Items.push_front(History.back());
+    History.pop_back();
+  }
+  if (Count > 0)
+    Ready.notifyAll();
+  return true;
 }
 
 bool QueueWorkSource::push(Token Item) {

@@ -19,6 +19,7 @@
 #include "core/Types.h"
 #include "sim/Machine.h"
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 
@@ -44,6 +45,12 @@ public:
   /// Instantaneous load (queue occupancy); what the head task's default
   /// LoadCB reports to the mechanisms.
   virtual double load() const = 0;
+
+  /// Un-pulls the last \p Count items so they are delivered again, in the
+  /// original order. The abortive recovery path rewinds the source to the
+  /// commit frontier before restarting a region. Returns false when the
+  /// source cannot replay that far (recovery then falls back to a drain).
+  virtual bool rewind(std::uint64_t Count) { return Count == 0; }
 };
 
 /// A bounded work queue: the server-application source. The load generator
@@ -56,6 +63,7 @@ public:
   Pull tryPull(Token &Out) override;
   sim::Waitable &readyEvent() override { return Ready; }
   double load() const override { return static_cast<double>(Items.size()); }
+  bool rewind(std::uint64_t Count) override;
 
   /// Enqueues a work item. Returns false when the queue is full (the item
   /// is dropped; the caller may count it as a rejected request).
@@ -75,6 +83,10 @@ private:
   bool Closed = false;
   std::uint64_t Accepted = 0;
   sim::Waitable Ready;
+  /// Recently pulled items, newest last, kept for rewind(). Bounded: a
+  /// rewind deeper than the history fails (recovery drains instead).
+  std::deque<Token> History;
+  static constexpr std::size_t HistoryCap = 4096;
 };
 
 /// A fixed number of iterations: the batch-loop source used by
@@ -93,6 +105,16 @@ public:
 
   /// Extends the iteration count (used by open-ended controller runs).
   void extend(std::uint64_t More) { N += More; }
+
+  /// Counted pulls carry no payload, so rewinding is just moving the
+  /// cursor back.
+  bool rewind(std::uint64_t Count) override {
+    assert(Next >= Count && "rewinding past the start");
+    Next -= Count;
+    if (Count > 0)
+      Ready.notifyAll();
+    return true;
+  }
 
 private:
   std::uint64_t N;

@@ -83,9 +83,29 @@ public:
     return R.loadOf(TaskIdx);
   }
 
+  /// Virtual time since task \p TaskIdx last showed liveness (retired an
+  /// iteration, fetched, or attempted a faulting iteration). The
+  /// watchdog's stall detector and the fault sensors read this.
+  static double getHeartbeatAge(const RegionExec &R, unsigned TaskIdx,
+                                sim::SimTime Now) {
+    sim::SimTime Beat = R.lastHeartbeat(TaskIdx);
+    return Now >= Beat ? sim::toSeconds(Now - Beat) : 0.0;
+  }
+
 private:
   std::map<std::string, std::function<double()>> Features;
 };
+
+/// Registers the fault-model platform features against \p M:
+/// "OnlineCores" (cores that survived), "StrandedThreads" (threads held
+/// hostage by failed cores). Mechanisms and the resilience bench sample
+/// these like any other platform sensor.
+inline void registerFaultFeatures(Decima &D, sim::Machine &M) {
+  D.registerFeature("OnlineCores",
+                    [&M] { return static_cast<double>(M.onlineCores()); });
+  D.registerFeature("StrandedThreads",
+                    [&M] { return static_cast<double>(M.strandedThreads()); });
+}
 
 /// Periodically samples a set of named platform features into the trace
 /// (as counter tracks) and the metrics registry (as gauges). Features not

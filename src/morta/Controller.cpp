@@ -512,6 +512,38 @@ unsigned RegionController::dopUpperBound(unsigned TaskIdx) const {
   return Budget - (Total - Mine);
 }
 
+void RegionController::onCapacityChange(unsigned Online) {
+  unsigned N = std::max(1u, Online);
+  if (!Started || St == CtrlState::Done)
+    return;
+  if (N >= Budget)
+    return; // the budget already fits the surviving cores
+  PARCAE_TRACE(Tel,
+               instant(TelPid, telemetry::TidController, "ctrl",
+                       "capacity_drop",
+                       {telemetry::TraceArg::num("online", Online),
+                        telemetry::TraceArg::num("budget", Budget)}));
+  setThreadBudget(N);
+}
+
+void RegionController::forceRecover(RegionConfig C) {
+  if (!Started || St == CtrlState::Done || Runner.completed())
+    return;
+  PARCAE_TRACE(Tel,
+               instant(TelPid, telemetry::TidController, "ctrl",
+                       "force_recover",
+                       {telemetry::TraceArg::str("config", C.str())}));
+  recordTrace(0);
+  Runner.recover(std::move(C));
+  // Whatever measurement was in flight is meaningless across an abort;
+  // settle into MONITOR around the recovered configuration.
+  Measuring = false;
+  MarkPending = false;
+  WarmupAnchor = NoSeq;
+  enterMonitor();
+  scheduleTick();
+}
+
 void RegionController::setThreadBudget(unsigned N) {
   assert(N >= 1 && "need at least one thread");
   if (!Started || N == Budget || St == CtrlState::Done) {

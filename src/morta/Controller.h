@@ -74,6 +74,23 @@ public:
   /// Platform-wide daemon adjusts this program's share (Algorithm 5).
   void setThreadBudget(unsigned N);
 
+  /// The runner under control (the watchdog drives recovery through it).
+  RegionRunner &runner() { return Runner; }
+
+  // --- Watchdog entry points (morta/Watchdog.h) ------------------------
+
+  /// Machine capacity shrank to \p Online cores (a core failed). Shrinks
+  /// the thread budget so the controller re-optimizes for the surviving
+  /// cores; a no-op when the budget already fits.
+  void onCapacityChange(unsigned Online);
+
+  /// Forces an immediate recovery switch to \p C, bypassing measurement:
+  /// the in-flight execution is aborted (or drained, when aborting is
+  /// impossible), the work source rewound to the commit frontier, and
+  /// execution resumed. The controller re-enters MONITOR around the new
+  /// configuration.
+  void forceRecover(RegionConfig C);
+
   CtrlState state() const { return St; }
   unsigned threadBudget() const { return Budget; }
   /// Best configuration found so far and its measured throughput.

@@ -22,7 +22,8 @@ RegionExec::RegionExec(sim::Machine &M, const RuntimeCosts &Costs,
                        const RegionDesc &Desc, WorkSource &Source,
                        RegionConfig Config, std::uint64_t StartSeq)
     : M(M), Costs(Costs), Desc(Desc), Source(Source),
-      Config(std::move(Config)), NextSeq(StartSeq) {
+      Config(std::move(Config)), NextSeq(StartSeq), StartSeq(StartSeq),
+      CommitFrontier(StartSeq) {
   Desc.verify();
   assert(this->Config.S == Desc.S && "config scheme must match the variant");
   assert(this->Config.DoP.size() == Desc.Tasks.size() &&
@@ -52,6 +53,7 @@ RegionExec::RegionExec(sim::Machine &M, const RuntimeCosts &Costs,
   Stats.resize(Desc.numTasks());
   ActiveByTask.resize(Desc.numTasks());
   HasWorker.assign(Desc.numTasks(), std::vector<bool>(MaxWidth, false));
+  LastBeat.assign(Desc.numTasks(), M.sim().now());
 
 #if PARCAE_TELEMETRY_ENABLED
   Tel = telemetry::recorder();
@@ -86,9 +88,57 @@ void RegionExec::spawnWorker(unsigned TaskIdx, unsigned Slot,
   ActiveByTask[TaskIdx].push_back(W);
   HasWorker[TaskIdx][Slot] = true;
   ++ActiveWorkers;
-  M.spawn(Desc.Name + "/" + Desc.Tasks[TaskIdx].name() + "#" +
-              std::to_string(Slot),
-          std::move(Body));
+  W->Thread = M.spawn(Desc.Name + "/" + Desc.Tasks[TaskIdx].name() + "#" +
+                          std::to_string(Slot),
+                      std::move(Body));
+}
+
+void RegionExec::noteFault(unsigned TaskIdx, std::uint64_t Seq,
+                           unsigned Attempt) {
+  ++FaultsInjected;
+  beat(TaskIdx); // a faulting task is still live, just unlucky
+  if (Tel) {
+    Tel->metrics().counter("exec." + Desc.Name + ".faults").add();
+    Tel->instant(TelPid, 1 + TaskIdx, "fault", "task_fault",
+                 {telemetry::TraceArg::num("seq", static_cast<double>(Seq)),
+                  telemetry::TraceArg::num("attempt", Attempt)});
+  }
+  if (Attempt > Costs.MaxFaultRetries) {
+    ++Escalations;
+    if (!EscalationFired) {
+      EscalationFired = true;
+      PARCAE_TRACE(Tel, instant(TelPid, 1 + TaskIdx, "fault",
+                                "fault_escalation",
+                                {telemetry::TraceArg::num(
+                                    "seq", static_cast<double>(Seq))}));
+      if (OnFaultEscalation)
+        OnFaultEscalation(TaskIdx);
+    }
+  }
+}
+
+void RegionExec::abort() {
+  assert(canAbort() && "abort requires a sequential tail");
+  Aborted = true;
+  PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidExec, "exec", "abort",
+                            {telemetry::TraceArg::num(
+                                 "frontier",
+                                 static_cast<double>(CommitFrontier)),
+                             telemetry::TraceArg::num(
+                                 "next_seq", static_cast<double>(NextSeq))}));
+  PARCAE_TRACE(Tel, end(TelPid, telemetry::TidExec, "exec", Config.str(),
+                        {telemetry::TraceArg::str("exit", "aborted")}));
+  // Kill without onWorkerExit: no respawns, no quiescence callbacks. The
+  // SimThreads outlive this exec (the Machine owns them), but terminated
+  // threads never resume, so the dead Worker bodies are never re-entered.
+  for (auto &List : ActiveByTask) {
+    for (Worker *W : List)
+      M.terminate(W->Thread);
+    List.clear();
+  }
+  for (auto &Row : HasWorker)
+    Row.assign(Row.size(), false);
+  ActiveWorkers = 0;
 }
 
 void RegionExec::requestPause() {

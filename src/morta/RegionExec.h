@@ -92,6 +92,47 @@ public:
   /// Master iteration count: the next iteration index the head will claim.
   std::uint64_t nextSeq() const { return NextSeq; }
 
+  /// First iteration this execution claimed.
+  std::uint64_t startSeq() const { return StartSeq; }
+
+  // --- Fault recovery (Morta watchdog) --------------------------------
+
+  /// Iterations whose side effects are durable: every iteration below the
+  /// frontier has been emitted by the sequential tail in order. Work in
+  /// [frontier, nextSeq()) is in flight and safe to re-execute after an
+  /// abort — the basis of the exactly-once guarantee.
+  std::uint64_t commitFrontier() const { return CommitFrontier; }
+
+  /// Abortive recovery applies only when the tail is sequential: a
+  /// parallel tail commits out of order, so in-flight iterations may have
+  /// already emitted and re-running them would duplicate side effects.
+  bool canAbort() const {
+    return Started && !Completed && !Desc.Tasks.back().isParallel();
+  }
+
+  /// Kills every worker immediately (no drain). In-flight iterations are
+  /// discarded; the caller rewinds the work source to commitFrontier()
+  /// and starts a fresh execution there. Neither OnQuiescent nor
+  /// OnComplete fires.
+  void abort();
+
+  /// Last virtual time task \p TaskIdx showed liveness (an iteration
+  /// retired, a fetch, or a fault attempt).
+  sim::SimTime lastHeartbeat(unsigned TaskIdx) const {
+    assert(TaskIdx < LastBeat.size());
+    return LastBeat[TaskIdx];
+  }
+
+  /// Transient fault attempts observed in this execution.
+  std::uint64_t faultsInjected() const { return FaultsInjected; }
+  /// Faults whose retries exhausted Costs.MaxFaultRetries.
+  std::uint64_t escalations() const { return Escalations; }
+
+  /// Fires (once) when a transient fault exhausts its retry budget; the
+  /// watchdog degrades the region (typically to SEQ, whose distinct task
+  /// names dodge the planned fault).
+  std::function<void(unsigned TaskIdx)> OnFaultEscalation;
+
   const RegionConfig &config() const { return Config; }
   const RegionDesc &desc() const { return Desc; }
 
@@ -125,6 +166,15 @@ private:
   void onWorkerExit(Worker *W, TaskStatus Status);
   void updateLowWater(unsigned TaskIdx);
   void retireIteration(unsigned TaskIdx);
+  /// Liveness heartbeat: the watchdog's stall detector reads these.
+  void beat(unsigned TaskIdx) { LastBeat[TaskIdx] = M.sim().now(); }
+  /// Records a transient fault attempt; escalates past the retry budget.
+  void noteFault(unsigned TaskIdx, std::uint64_t Seq, unsigned Attempt);
+  /// Advances the commit frontier after the sequential tail emits \p Seq.
+  void noteTailCommit(std::uint64_t Seq) {
+    if (Seq + 1 > CommitFrontier)
+      CommitFrontier = Seq + 1;
+  }
   /// Telemetry hook after a task finishes one iteration: samples the
   /// per-task iteration counter (every 64th to bound trace size).
   void noteIteration(unsigned TaskIdx) {
@@ -167,7 +217,14 @@ private:
   unsigned ActiveWorkers = 0;
   bool Started = false;
   bool Completed = false;
+  bool Aborted = false;
   std::uint64_t IterationsRetired = 0;
+  std::uint64_t StartSeq = 0;
+  std::uint64_t CommitFrontier = 0;
+  std::vector<sim::SimTime> LastBeat; // per task
+  std::uint64_t FaultsInjected = 0;
+  std::uint64_t Escalations = 0;
+  bool EscalationFired = false;
 
   // Telemetry (null when tracing is off).
   telemetry::TraceRecorder *Tel = nullptr;

@@ -37,6 +37,10 @@ void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
       OnComplete();
   };
   Exec->OnQuiescent = [this] { onQuiescent(); };
+  Exec->OnFaultEscalation = [this](unsigned TaskIdx) {
+    if (OnFaultEscalation)
+      OnFaultEscalation(TaskIdx);
+  };
   Exec->start();
 }
 
@@ -73,6 +77,7 @@ bool RegionRunner::reconfigure(RegionConfig Target) {
     Tel->begin(TelPid, telemetry::TidRunner, "runner", "transition",
                {telemetry::TraceArg::str("from", Config.str()),
                 telemetry::TraceArg::str("to", Target.str())});
+    TelOpenSpan = "transition";
   }
   Transitioning = true;
   Pending = std::move(Target);
@@ -85,6 +90,8 @@ void RegionRunner::onQuiescent() {
   assert(Transitioning && "quiescent without a pending transition");
   std::uint64_t StartSeq = Exec->nextSeq();
   RetiredBase += Exec->iterationsRetired();
+  FaultsBase += Exec->faultsInjected();
+  EscalationsBase += Exec->escalations();
   // Keep the drained exec alive until the new one is constructed: workers
   // have fully exited, but the object owns the channel storage.
   Retiring = std::move(Exec);
@@ -97,15 +104,78 @@ void RegionRunner::onQuiescent() {
     sim::SimTime Drained = M.sim().now() - PauseRequestedAt;
     Delay = Drained >= Delay ? 0 : Delay - Drained;
   }
+  scheduleResume(StartSeq, Delay);
+}
 
-  RegionConfig Next = std::move(Pending);
-  M.sim().schedule(Delay, [this, Next = std::move(Next), StartSeq]() mutable {
+void RegionRunner::scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay) {
+  M.sim().schedule(Delay, [this, StartSeq] {
     Transitioning = false;
     Retiring.reset();
-    PARCAE_TRACE(Tel, end(TelPid, telemetry::TidRunner, "runner",
-                          "transition"));
-    beginExec(std::move(Next), StartSeq);
+    if (Tel && TelOpenSpan) {
+      Tel->end(TelPid, telemetry::TidRunner, "runner", TelOpenSpan);
+      TelOpenSpan = nullptr;
+    }
+    // Pending is read here, not at scheduling time, so a target coalesced
+    // during the delay window is honoured.
+    beginExec(std::move(Pending), StartSeq);
     if (OnReconfigured)
       OnReconfigured();
   });
+}
+
+bool RegionRunner::recover(RegionConfig Target) {
+  if (Completed || !Started)
+    return false;
+  assert(Region.hasVariant(Target.S) && "unknown scheme for this region");
+  assert(Target.DoP.size() == Region.variant(Target.S).numTasks() &&
+         "one DoP per task of the target variant");
+
+  if (!Exec) {
+    // Mid-resume window: a resume is already armed and reads Pending when
+    // it fires, so retargeting it is all that is needed.
+    assert(Transitioning && "no execution outside a transition");
+    Pending = std::move(Target);
+    return true;
+  }
+  if (!Exec->canAbort())
+    return reconfigure(std::move(Target)); // parallel tail: must drain
+
+  std::uint64_t Frontier = Exec->commitFrontier();
+  std::uint64_t InFlight = Exec->nextSeq() - Frontier;
+  if (!Source.rewind(InFlight))
+    return reconfigure(std::move(Target)); // cannot replay: must drain
+
+  ++Recoveries;
+  ++Reconfigurations;
+  if (Tel) {
+    Tel->metrics().counter("runner." + Region.name() + ".recoveries").add();
+    if (TelOpenSpan) {
+      // A drain was in flight; the abort supersedes it.
+      Tel->end(TelPid, telemetry::TidRunner, "runner", TelOpenSpan);
+      TelOpenSpan = nullptr;
+    }
+    Tel->begin(TelPid, telemetry::TidRunner, "runner", "recover",
+               {telemetry::TraceArg::str("to", Target.str()),
+                telemetry::TraceArg::num("frontier",
+                                         static_cast<double>(Frontier)),
+                telemetry::TraceArg::num("in_flight",
+                                         static_cast<double>(InFlight))});
+    TelOpenSpan = "recover";
+  }
+  // Absolute, not cumulative: the frontier may be one ahead of the retire
+  // counter when the abort lands between the tail's functor (side effect
+  // durable, frontier advanced) and its IterDone (retire counted). The
+  // new execution starts at the frontier, so counting from it keeps
+  // totalRetired() continuous and duplicate-free.
+  RetiredBase = Frontier;
+  FaultsBase += Exec->faultsInjected();
+  EscalationsBase += Exec->escalations();
+  Transitioning = true;
+  Pending = std::move(Target);
+  Exec->abort();
+  // As in onQuiescent: the dead exec owns channel storage live workers may
+  // still be named in; free it only after the new exec exists.
+  Retiring = std::move(Exec);
+  scheduleResume(Frontier, Costs.ReconfigCompute);
+  return true;
 }

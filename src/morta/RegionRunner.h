@@ -53,6 +53,15 @@ public:
   /// pending one). Returns true if the request was accepted.
   bool reconfigure(RegionConfig Target);
 
+  /// Abortive recovery (the Morta watchdog's fast path): kills in-flight
+  /// iterations instead of draining them, rewinds the work source to the
+  /// commit frontier, and resumes under \p Target from there. Requires a
+  /// sequential tail (RegionExec::canAbort) and a rewindable source;
+  /// otherwise falls back to the ordinary pause-drain reconfigure. Exactly
+  /// once: everything below the frontier was emitted in order, everything
+  /// above it re-executes. Returns true if a switch was accepted.
+  bool recover(RegionConfig Target);
+
   /// True while a pause-drain-resume transition is in flight.
   bool transitioning() const { return Transitioning; }
 
@@ -75,14 +84,31 @@ public:
   unsigned reconfigurations() const { return Reconfigurations; }
   /// Number that took the full pause-drain-resume path.
   unsigned fullPauses() const { return FullPauses; }
+  /// Number that took the abortive recovery path.
+  unsigned recoveries() const { return Recoveries; }
+
+  /// Transient fault attempts across all executions of this region.
+  std::uint64_t totalFaults() const {
+    return FaultsBase + (Exec ? Exec->faultsInjected() : 0);
+  }
+  /// Retry-budget exhaustions across all executions.
+  std::uint64_t totalEscalations() const {
+    return EscalationsBase + (Exec ? Exec->escalations() : 0);
+  }
 
   std::function<void()> OnComplete;
   /// Fires when a requested reconfiguration has fully taken effect.
   std::function<void()> OnReconfigured;
+  /// Forwarded from the current execution: a transient fault exhausted
+  /// its retry budget. The watchdog reacts by degrading the region.
+  std::function<void(unsigned TaskIdx)> OnFaultEscalation;
 
 private:
   void beginExec(RegionConfig C, std::uint64_t StartSeq);
   void onQuiescent();
+  /// Arms the delayed resume. Pending is read when the delay fires, so a
+  /// reconfigure/recover landing inside the window still takes effect.
+  void scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay);
 
   sim::Machine &M;
   const RuntimeCosts &Costs;
@@ -99,11 +125,17 @@ private:
   std::uint64_t RetiredBase = 0;
   unsigned Reconfigurations = 0;
   unsigned FullPauses = 0;
+  unsigned Recoveries = 0;
+  std::uint64_t FaultsBase = 0;
+  std::uint64_t EscalationsBase = 0;
   sim::SimTime PauseRequestedAt = 0;
 
   // Telemetry (null when tracing is off).
   telemetry::TraceRecorder *Tel = nullptr;
   std::uint32_t TelPid = 0;
+  /// Name of the open runner-lane span ("transition" or "recover"),
+  /// closed when the resume fires; null when none is open.
+  const char *TelOpenSpan = nullptr;
 };
 
 } // namespace parcae::rt

@@ -1,0 +1,150 @@
+//===- Watchdog.cpp - Morta's liveness watchdog ----------------------------===//
+
+#include "morta/Watchdog.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace parcae::rt;
+
+Watchdog::Watchdog(RegionController &Ctrl, WatchdogParams P)
+    : Ctrl(Ctrl), Runner(Ctrl.runner()), M(Runner.machine()), P(P) {
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    TelPid = Tel->processFor(Runner.region().name());
+    Tel->nameThread(TelPid, telemetry::TidWatchdog, "watchdog");
+  }
+#endif
+}
+
+void Watchdog::start() {
+  assert(!Started && "watchdog already started");
+  Started = true;
+  KnownOnline = M.onlineCores();
+  LastRetired = Runner.totalRetired();
+  LastProgressAt = M.sim().now();
+  Runner.OnFaultEscalation = [this](unsigned TaskIdx) {
+    onEscalation(TaskIdx);
+  };
+  M.sim().schedule(P.Period, [this] { tick(); });
+}
+
+void Watchdog::beginRecoveryClock(sim::SimTime FaultAt) {
+  if (RecoveryPending)
+    return; // one clock covers overlapping faults; MTTR spans them all
+  RecoveryPending = true;
+  RecoveryStartAt = FaultAt;
+  RetiredAtFault = Runner.totalRetired();
+}
+
+void Watchdog::onEscalation(unsigned TaskIdx) {
+  ++EscalationsHandled;
+  if (Tel) {
+    Tel->metrics().counter("watchdog.escalations").add();
+    Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
+                 "watchdog_escalation",
+                 {telemetry::TraceArg::num("task", TaskIdx)});
+  }
+  beginRecoveryClock(M.sim().now());
+  RegionConfig C = P.DegradeToSeqOnEscalation &&
+                           Runner.region().hasVariant(Scheme::Seq)
+                       ? Runner.region().unitConfig(Scheme::Seq)
+                       : Runner.config();
+  // The escalation fires from inside a worker's resume(); aborting that
+  // worker's own thread mid-resume would corrupt the slice bookkeeping.
+  // Defer the recovery to a fresh simulator event.
+  M.sim().schedule(0, [this, C = std::move(C)] {
+    if (!Runner.completed())
+      Ctrl.forceRecover(C);
+  });
+}
+
+void Watchdog::tick() {
+  if (Runner.completed())
+    return; // disarm: the region is done
+
+  sim::SimTime Now = M.sim().now();
+
+  // 1. Capacity: cores went offline since the last tick. Rescue stranded
+  // threads onto the survivors, then shrink the controller's budget so it
+  // re-optimizes (degradation ladder: lower DoP, ultimately SEQ).
+  unsigned Online = M.onlineCores();
+  if (Online < KnownOnline) {
+    ++Detections;
+    LastDetectionLatency = Now - M.lastOfflineAt();
+    unsigned R = M.rescueStranded();
+    Rescued += R;
+    if (Tel) {
+      Tel->metrics().counter("watchdog.detections").add();
+      Tel->metrics()
+          .histogram("watchdog.detect_latency_us")
+          .add(sim::toSeconds(LastDetectionLatency) * 1e6);
+      Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
+                   "watchdog_detect",
+                   {telemetry::TraceArg::num("online", Online),
+                    telemetry::TraceArg::num("was", KnownOnline),
+                    telemetry::TraceArg::num("rescued", R)});
+    }
+    beginRecoveryClock(M.lastOfflineAt());
+    KnownOnline = Online;
+    Ctrl.onCapacityChange(Online);
+  }
+
+  // 2. Progress stall: work is in flight, no transition is running, yet
+  // nothing has retired for the stall threshold. Heartbeats tell which
+  // task went quiet; recovery aborts and replays from the frontier.
+  std::uint64_t Retired = Runner.totalRetired();
+  if (Retired != LastRetired) {
+    LastRetired = Retired;
+    LastProgressAt = Now;
+  } else if (!Runner.transitioning() && Runner.exec() &&
+             Now - LastProgressAt >= P.StallThreshold) {
+    const RegionExec *E = Runner.exec();
+    bool InFlight = E->nextSeq() > E->startSeq() + E->iterationsRetired();
+    if (InFlight) {
+      ++Stalls;
+      unsigned R = M.rescueStranded();
+      Rescued += R;
+      if (Tel) {
+        Tel->metrics().counter("watchdog.stalls").add();
+        sim::SimTime OldestBeat = Now;
+        for (unsigned T = 0; T < E->numTasks(); ++T)
+          OldestBeat = std::min(OldestBeat, E->lastHeartbeat(T));
+        Tel->instant(
+            TelPid, telemetry::TidWatchdog, "watchdog", "watchdog_stall",
+            {telemetry::TraceArg::num("stalled_us",
+                                      sim::toSeconds(Now - LastProgressAt) *
+                                          1e6),
+             telemetry::TraceArg::num("oldest_beat_age_us",
+                                      sim::toSeconds(Now - OldestBeat) *
+                                          1e6),
+             telemetry::TraceArg::num("rescued", R)});
+      }
+      beginRecoveryClock(LastProgressAt);
+      LastProgressAt = Now; // re-arm: do not refire every tick
+      Ctrl.forceRecover(Runner.config());
+    }
+  }
+
+  // 3. MTTR: a recovery completes when the first iteration retires after
+  // the fault that started the clock.
+  if (RecoveryPending && !Runner.transitioning() &&
+      Runner.totalRetired() > RetiredAtFault) {
+    RecoveryPending = false;
+    ++RecoveriesCompleted;
+    LastMttr = Now - RecoveryStartAt;
+    if (Tel) {
+      Tel->metrics().counter("watchdog.recoveries").add();
+      Tel->metrics()
+          .histogram("watchdog.mttr_us")
+          .add(sim::toSeconds(LastMttr) * 1e6);
+      Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
+                   "watchdog_recovered",
+                   {telemetry::TraceArg::num(
+                       "mttr_us", sim::toSeconds(LastMttr) * 1e6)});
+    }
+  }
+
+  M.sim().schedule(P.Period, [this] { tick(); });
+}

@@ -1,0 +1,113 @@
+//===- Watchdog.h - Morta's liveness watchdog -------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The failure-detection half of Morta's recovery story. The controller's
+/// own measurement loop only advances when iterations retire, so a dead
+/// core that strands a worker stalls the pipeline *and* the controller —
+/// nobody is left to notice. The watchdog is the independent observer: a
+/// periodic tick that
+///
+///  * polls machine capacity and, when cores have gone offline, rescues
+///    stranded threads and shrinks the controller's thread budget
+///    (graceful degradation to a lower DoP, or SEQ);
+///  * watches region progress against per-task heartbeats and forces an
+///    abortive recovery when nothing retires for a stall threshold;
+///  * degrades the region (typically to SEQ) when a transient fault
+///    exhausts its retry budget, side-stepping the poisoned
+///    configuration;
+///  * records detection latency and MTTR (fault time -> first iteration
+///    retired after recovery) as metrics histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_MORTA_WATCHDOG_H
+#define PARCAE_MORTA_WATCHDOG_H
+
+#include "morta/Controller.h"
+#include "sim/Time.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdint>
+
+namespace parcae::rt {
+
+/// Tunables of the liveness watchdog.
+struct WatchdogParams {
+  /// Polling period. Detection latency is at most one period.
+  sim::SimTime Period = 250 * sim::USec;
+  /// No retired iteration for this long (with work in flight and no
+  /// transition in progress) counts as a stall.
+  sim::SimTime StallThreshold = 4 * sim::MSec;
+  /// On retry exhaustion, degrade to the SEQ variant (whose distinct task
+  /// names dodge a fault bound to a parallel task). When false, recover
+  /// into the current configuration instead.
+  bool DegradeToSeqOnEscalation = true;
+};
+
+/// Periodic liveness monitor driving Morta's recovery paths.
+class Watchdog {
+public:
+  Watchdog(RegionController &Ctrl, WatchdogParams P = {});
+
+  /// Arms the periodic tick and hooks fault escalations. Call after the
+  /// controller has started.
+  void start();
+
+  // --- Counters (bench/test-facing) -----------------------------------
+
+  /// Capacity drops detected (one per tick that saw fewer online cores).
+  unsigned detections() const { return Detections; }
+  /// Progress stalls detected.
+  unsigned stallsDetected() const { return Stalls; }
+  /// Retry-budget escalations handled.
+  unsigned escalationsHandled() const { return EscalationsHandled; }
+  /// Recoveries whose completion (first retire after the fault) was seen.
+  unsigned recoveriesCompleted() const { return RecoveriesCompleted; }
+  /// Stranded threads rescued in total.
+  unsigned threadsRescued() const { return Rescued; }
+  /// Latency of the most recent capacity-drop detection (fault to tick).
+  sim::SimTime lastDetectionLatency() const { return LastDetectionLatency; }
+  /// Most recent mean-time-to-recovery (fault to first retire after).
+  sim::SimTime lastMttr() const { return LastMttr; }
+
+private:
+  void tick();
+  void onEscalation(unsigned TaskIdx);
+  /// Starts the MTTR clock at \p FaultAt (no-op if one is running).
+  void beginRecoveryClock(sim::SimTime FaultAt);
+
+  RegionController &Ctrl;
+  RegionRunner &Runner;
+  sim::Machine &M;
+  WatchdogParams P;
+
+  bool Started = false;
+  unsigned KnownOnline = 0;
+  std::uint64_t LastRetired = 0;
+  sim::SimTime LastProgressAt = 0;
+
+  // MTTR clock.
+  bool RecoveryPending = false;
+  sim::SimTime RecoveryStartAt = 0;
+  std::uint64_t RetiredAtFault = 0;
+
+  unsigned Detections = 0;
+  unsigned Stalls = 0;
+  unsigned EscalationsHandled = 0;
+  unsigned RecoveriesCompleted = 0;
+  unsigned Rescued = 0;
+  sim::SimTime LastDetectionLatency = 0;
+  sim::SimTime LastMttr = 0;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
+};
+
+} // namespace parcae::rt
+
+#endif // PARCAE_MORTA_WATCHDOG_H

@@ -2,6 +2,8 @@
 
 #include "morta/Worker.h"
 
+#include <algorithm>
+
 using namespace parcae::rt;
 using parcae::sim::Action;
 
@@ -53,6 +55,22 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
     return runFunctor(M);
   }
 
+  case State::Backoff: {
+    // A transient fault was injected; wait out the exponential backoff,
+    // then retry the attempt. The functor has NOT run (faults fire before
+    // it), so retrying cannot duplicate side effects.
+    sim::SimTime Now = M.sim().now();
+    if (!BackoffArmed) {
+      BackoffArmed = true;
+      M.sim().schedule(RetryAt > Now ? RetryAt - Now : 0,
+                       [this] { RetryEvent.notifyAll(); });
+    }
+    if (Now < RetryAt)
+      return Action::block(RetryEvent);
+    BackoffArmed = false;
+    return runFunctor(M);
+  }
+
   case State::Compute:
     // Main compute already charged when entering; proceed to criticals.
     St = State::Critical;
@@ -95,6 +113,7 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
   case State::IterDone:
     ++R.Stats[TaskIdx].Iterations;
     R.noteIteration(TaskIdx);
+    R.beat(TaskIdx);
     if (IsTail)
       R.retireIteration(TaskIdx);
     InIteration = false;
@@ -162,6 +181,23 @@ Action Worker::stepFetch() {
 
 Action Worker::runFunctor(sim::Machine &M) {
   const RuntimeCosts &C = R.Costs;
+  R.beat(TaskIdx);
+  // Transient fault injection: the plan says the first FailCount attempts
+  // of this (task, seq) fault before the functor runs. Burn the attempt
+  // cost, back off exponentially, retry. The functor only ever executes
+  // on the first non-faulting attempt — exactly once per iteration.
+  if (Attempt < M.transientFailCount(T.name(), Cursor)) {
+    ++Attempt;
+    R.noteFault(TaskIdx, Cursor, Attempt);
+    unsigned Shift = std::min(Attempt - 1, 16u);
+    sim::SimTime Backoff =
+        std::min(C.FaultRetryBackoff << Shift, C.FaultRetryBackoffMax);
+    RetryAt = M.sim().now() + C.FaultAttemptCost + Backoff;
+    BackoffArmed = false;
+    St = State::Backoff;
+    return Action::compute(C.FaultAttemptCost);
+  }
+  Attempt = 0;
   Ctx.Seq = Cursor;
   Ctx.Slot = Slot;
   Ctx.Now = M.sim().now();
@@ -174,6 +210,12 @@ Action Worker::runFunctor(sim::Machine &M) {
     O.Seq = Cursor;
 
   T.Fn(Ctx);
+  // The functor's side effects are now durable. For a sequential tail
+  // they happened in iteration order, so the commit frontier advances
+  // HERE — an abort landing between the functor and IterDone must not
+  // re-execute this iteration (that would duplicate the side effects).
+  if (IsTail && !T.isParallel())
+    R.noteTailCommit(Cursor);
 
   if (Ctx.EndOfStream) {
     // The loop's own exit condition fired: no iteration beyond this one.

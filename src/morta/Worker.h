@@ -54,6 +54,7 @@ private:
     Init,        ///< pay Tinit and spawn costs
     Fetch,       ///< find/claim the next instance or detect pause/end
     Recv,        ///< receive one input token per in-link
+    Backoff,     ///< transient fault: wait out the retry backoff
     Compute,     ///< charge the functor's compute cost
     Critical,    ///< acquire/run/release critical sections
     Send,        ///< send one output token per out-link
@@ -86,6 +87,17 @@ private:
   bool UsedReduction = false; ///< privatized reduction state to merge
   sim::SimTime PendingCost = 0; ///< extra cost injected by reconfigurations
   TaskStatus ExitStatus = TaskStatus::Complete;
+
+  /// The worker's simulated thread; RegionExec::abort() terminates it.
+  sim::SimThread *Thread = nullptr;
+
+  // Transient-fault retry state. Attempt counts tries of the current
+  // iteration; it resets when a new iteration is claimed, so the functor
+  // runs exactly once per iteration — on the first non-faulting attempt.
+  unsigned Attempt = 0;
+  bool BackoffArmed = false;
+  sim::SimTime RetryAt = 0;
+  sim::Waitable RetryEvent;
 };
 
 } // namespace parcae::rt

@@ -29,13 +29,18 @@ namespace parcae::sim {
 /// Bounded FIFO queue of T with wakeup conditions.
 template <typename T> class BoundedQueue {
 public:
+  /// Three-way pop outcome, distinguishing "try again later" from "the
+  /// producer is gone" so shutdown does not strand blocked consumers.
+  enum class PopResult { Got, Empty, Closed };
+
   explicit BoundedQueue(std::size_t Capacity = 32) : Capacity(Capacity) {
     assert(Capacity > 0 && "queue capacity must be positive");
   }
 
-  /// Appends \p Item if there is room; wakes blocked consumers.
+  /// Appends \p Item if there is room; wakes blocked consumers. Rejects
+  /// the item once the queue is closed.
   bool tryPush(T Item) {
-    if (Items.size() >= Capacity)
+    if (Shut || Items.size() >= Capacity)
       return false;
     Items.push_back(std::move(Item));
     NotEmpty.notifyAll();
@@ -51,6 +56,28 @@ public:
     NotFull.notifyAll();
     return true;
   }
+
+  /// Shutdown-aware pop: Got with an item, Empty while the producer may
+  /// still push (block on notEmpty() and re-try), Closed when the queue
+  /// was closed and has drained — the consumer's signal to exit.
+  PopResult pop(T &Out) {
+    if (tryPop(Out))
+      return PopResult::Got;
+    return Shut ? PopResult::Closed : PopResult::Empty;
+  }
+
+  /// Closes the queue: no further pushes are accepted, and both waitables
+  /// fire so consumers blocked on notEmpty() (and producers on notFull())
+  /// wake up and observe the shutdown instead of sleeping forever.
+  void close() {
+    if (Shut)
+      return;
+    Shut = true;
+    NotEmpty.notifyAll();
+    NotFull.notifyAll();
+  }
+
+  bool closed() const { return Shut; }
 
   /// Reads the oldest item without removing it.
   const T &front() const {
@@ -77,6 +104,7 @@ public:
 private:
   std::size_t Capacity;
   std::deque<T> Items;
+  bool Shut = false;
   Waitable NotEmpty;
   Waitable NotFull;
 };

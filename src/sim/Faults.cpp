@@ -1,0 +1,53 @@
+//===- Faults.cpp - Deterministic fault injection for the machine ----------===//
+
+#include "sim/Faults.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace parcae::sim;
+
+void FaultPlan::addStraggler(unsigned Core, SimTime At, SimTime Duration,
+                             double Dilation) {
+  assert(Dilation >= 1.0 && "stragglers run slower, not faster");
+  assert(Duration > 0 && "straggler window must be non-empty");
+  Stragglers.push_back({Core, At, Duration, Dilation});
+}
+
+void FaultPlan::addOffline(unsigned Core, SimTime At) {
+  Offlines.push_back({Core, At});
+}
+
+void FaultPlan::addTransient(std::string Task, std::uint64_t Seq,
+                             unsigned FailCount) {
+  assert(FailCount >= 1 && "a transient fault fails at least once");
+  Transients[{std::move(Task), Seq}] = FailCount;
+}
+
+void FaultPlan::scatterTransients(std::uint64_t Seed, const std::string &Task,
+                                  std::uint64_t SeqBegin, std::uint64_t SeqEnd,
+                                  unsigned Count, unsigned MaxFailCount) {
+  assert(SeqBegin < SeqEnd && "empty scatter range");
+  assert(MaxFailCount >= 1);
+  Rng R(Seed);
+  for (unsigned I = 0; I < Count; ++I) {
+    std::uint64_t Seq = SeqBegin + R.nextBelow(SeqEnd - SeqBegin);
+    unsigned Fails = 1 + static_cast<unsigned>(R.nextBelow(MaxFailCount));
+    addTransient(Task, Seq, Fails);
+  }
+}
+
+double FaultPlan::dilation(unsigned Core, SimTime Now) const {
+  double F = 1.0;
+  for (const StragglerFault &S : Stragglers)
+    if (S.Core == Core && Now >= S.At && Now < S.At + S.Duration)
+      F *= S.Dilation;
+  return F;
+}
+
+unsigned FaultPlan::transientFailCount(const std::string &Task,
+                                       std::uint64_t Seq) const {
+  auto It = Transients.find({Task, Seq});
+  return It == Transients.end() ? 0 : It->second;
+}

@@ -1,0 +1,113 @@
+//===- Faults.h - Deterministic fault injection for the machine -*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault plan the simulated Machine consults. The
+/// paper's central claim — Morta can "cut short running tasks and replace
+/// them with functionally equivalent tasks better suited to the current
+/// execution environment" — is only exercised when the environment
+/// degrades, so the plan models the three failure classes a shared
+/// production platform exhibits:
+///
+///  * Stragglers: a core runs dilated (e.g. 4x cycle time) over a window
+///    of virtual time — thermal throttling, a noisy co-tenant.
+///  * Core offlining: a core fails permanently at a point in time. The
+///    thread running on it is *stranded* (held hostage) until Morta's
+///    watchdog rescues it — exactly the stall a dead core causes.
+///  * Transient task faults: a specific dynamic task instance raises a
+///    fault instead of completing for its first FailCount attempts; Morta
+///    retries with bounded exponential backoff.
+///
+/// Everything is declared up front (or scattered from a seed), so an
+/// identical plan reproduces a byte-identical event sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_FAULTS_H
+#define PARCAE_SIM_FAULTS_H
+
+#include "sim/Time.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parcae::sim {
+
+/// A core that runs slow over [At, At + Duration): every compute cycle
+/// takes Dilation wall cycles.
+struct StragglerFault {
+  unsigned Core = 0;
+  SimTime At = 0;
+  SimTime Duration = 0;
+  double Dilation = 1.0;
+};
+
+/// A core that fails permanently at time At.
+struct OfflineFault {
+  unsigned Core = 0;
+  SimTime At = 0;
+};
+
+/// A task instance (identified by task name and region-global iteration
+/// index) whose first FailCount execution attempts fault.
+struct TransientFault {
+  std::string Task;
+  std::uint64_t Seq = 0;
+  unsigned FailCount = 1;
+};
+
+/// The full fault schedule of one run. Value-semantic: the Machine takes a
+/// copy at installFaultPlan(), so one plan can drive many runs.
+class FaultPlan {
+public:
+  FaultPlan() = default;
+
+  /// Dilates \p Core by \p Dilation (>= 1) over [At, At + Duration).
+  void addStraggler(unsigned Core, SimTime At, SimTime Duration,
+                    double Dilation);
+
+  /// Permanently offlines \p Core at time \p At.
+  void addOffline(unsigned Core, SimTime At);
+
+  /// Makes the first \p FailCount attempts of (\p Task, \p Seq) fault.
+  void addTransient(std::string Task, std::uint64_t Seq,
+                    unsigned FailCount = 1);
+
+  /// Scatters \p Count transient faults over iterations [SeqBegin, SeqEnd)
+  /// of \p Task, deterministically from \p Seed. Each fault's FailCount is
+  /// uniform in [1, MaxFailCount].
+  void scatterTransients(std::uint64_t Seed, const std::string &Task,
+                         std::uint64_t SeqBegin, std::uint64_t SeqEnd,
+                         unsigned Count, unsigned MaxFailCount = 1);
+
+  /// Combined dilation factor of \p Core at time \p Now (1.0 = nominal;
+  /// overlapping windows multiply, like stacked co-tenants).
+  double dilation(unsigned Core, SimTime Now) const;
+
+  /// Attempts of (\p Task, \p Seq) that fault before one succeeds.
+  unsigned transientFailCount(const std::string &Task,
+                              std::uint64_t Seq) const;
+
+  const std::vector<StragglerFault> &stragglers() const { return Stragglers; }
+  const std::vector<OfflineFault> &offlines() const { return Offlines; }
+  std::size_t numTransients() const { return Transients.size(); }
+
+  bool empty() const {
+    return Stragglers.empty() && Offlines.empty() && Transients.empty();
+  }
+
+private:
+  std::vector<StragglerFault> Stragglers;
+  std::vector<OfflineFault> Offlines;
+  std::map<std::pair<std::string, std::uint64_t>, unsigned> Transients;
+};
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_FAULTS_H

@@ -24,7 +24,7 @@ void Waitable::notifyOne() {
 }
 
 Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
-    : Sim(Sim), Cfg(Cfg), Cores(NumCores) {
+    : Sim(Sim), Cfg(Cfg), Cores(NumCores), OnlineCount(NumCores) {
   assert(NumCores > 0 && "machine needs at least one core");
 #if PARCAE_TELEMETRY_ENABLED
   Tel = telemetry::recorder();
@@ -121,15 +121,21 @@ void Machine::emitBusySample() {
 
 void Machine::tryAssign() {
   while (!ReadyQueue.empty()) {
-    // Gang reservations keep some idle cores unavailable.
-    if (BusyCount >= Cores.size())
+    SimThread *T = ReadyQueue.front();
+    // Threads terminated while queued are dropped lazily here.
+    if (T->State == ThreadState::Finished) {
+      ReadyQueue.pop_front();
+      continue;
+    }
+    // Gang reservations keep some idle cores unavailable; offlined cores
+    // no longer count as capacity at all.
+    if (BusyCount >= OnlineCount)
       return;
     // Find a free core, preferring the one the thread last ran on so that
     // a thread running alone never pays switch costs.
-    SimThread *T = ReadyQueue.front();
     int Free = -1;
     for (unsigned I = 0; I < Cores.size(); ++I) {
-      if (Cores[I].Running)
+      if (Cores[I].Running || Cores[I].Offline)
         continue;
       if (Cores[I].LastThread == T) {
         Free = static_cast<int>(I);
@@ -213,6 +219,18 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
                          ? Cfg.CtxSwitchCost + Cfg.CacheRefillCost
                          : 0;
   SimTime SliceLen = std::min(T->RemainingBurst, Cfg.Quantum);
+  // A straggling core stretches the slice's wall time: every work cycle
+  // takes Dilation cycles, though only SliceLen cycles of work complete.
+  double Dilation = Plan ? Plan->dilation(CoreIdx, Sim.now()) : 1.0;
+  SimTime Wall =
+      Dilation > 1.0
+          ? static_cast<SimTime>(static_cast<double>(SliceLen) * Dilation)
+          : SliceLen;
+  C.SliceAt = Sim.now();
+  C.SliceOverhead = Overhead;
+  C.SliceWork = SliceLen;
+  C.SliceDilation = Dilation;
+  std::uint64_t Epoch = ++C.Epoch;
   if (Tel) {
     SliceMetric->add();
     if (Overhead > 0) {
@@ -230,8 +248,9 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
       TelCoreSpan[CoreIdx] = T;
     }
   }
-  Sim.schedule(Overhead + SliceLen,
-               [this, CoreIdx, T, SliceLen] { endSlice(CoreIdx, T, SliceLen); });
+  Sim.schedule(Overhead + Wall, [this, CoreIdx, T, SliceLen, Epoch] {
+    endSlice(CoreIdx, T, SliceLen, Epoch);
+  });
 }
 
 /// Reserves Gang-1 helper cores and arms the burst, or blocks the thread
@@ -251,8 +270,11 @@ bool Machine::tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles) {
   return true;
 }
 
-void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen) {
+void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen,
+                       std::uint64_t Epoch) {
   Core &C = Cores[CoreIdx];
+  if (C.Epoch != Epoch)
+    return; // slice cancelled: its thread was stranded or terminated
   assert(C.Running == T && "slice ended on wrong core");
   C.Running = nullptr;
   C.LastThread = T;
@@ -264,15 +286,155 @@ void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen) {
   assert(T->RemainingBurst >= SliceLen);
   T->RemainingBurst -= SliceLen;
   T->BusyTime += SliceLen * (1 + T->GangHold);
-  if (T->RemainingBurst == 0 && T->GangHold > 0) {
-    assert(Reserved >= T->GangHold);
-    Reserved -= T->GangHold;
-    setBusyCount(BusyCount - T->GangHold);
-    T->GangHold = 0;
-    GangAvail.notifyAll();
-  }
+  if (T->RemainingBurst == 0 && T->GangHold > 0)
+    releaseGangHold(T);
   T->State = ThreadState::Ready;
   T->CoreIdx = -1;
   ReadyQueue.push_back(T);
+  dispatch();
+}
+
+void Machine::releaseGangHold(SimThread *T) {
+  assert(T->GangHold > 0);
+  assert(Reserved >= T->GangHold);
+  Reserved -= T->GangHold;
+  setBusyCount(BusyCount - T->GangHold);
+  T->GangHold = 0;
+  GangAvail.notifyAll();
+}
+
+void Machine::installFaultPlan(FaultPlan NewPlan) {
+  assert(!Plan && "a fault plan is already installed");
+  Plan = std::move(NewPlan);
+  for (const OfflineFault &F : Plan->offlines()) {
+    assert(F.Core < Cores.size() && "offline fault names a missing core");
+    Sim.scheduleAt(F.At, [this, Core = F.Core] { offlineCore(Core); });
+  }
+  if (Tel)
+    for (const StragglerFault &S : Plan->stragglers()) {
+      assert(S.Core < Cores.size() && "straggler names a missing core");
+      Sim.scheduleAt(S.At, [this, S] {
+        Tel->instant(TelPid, S.Core, "machine", "fault_straggler",
+                     {telemetry::TraceArg::num("dilation", S.Dilation),
+                      telemetry::TraceArg::num(
+                          "duration_us", toSeconds(S.Duration) * 1e6)});
+      });
+    }
+}
+
+void Machine::offlineCore(unsigned CoreIdx) {
+  assert(CoreIdx < Cores.size());
+  Core &C = Cores[CoreIdx];
+  if (C.Offline)
+    return;
+  assert(OnlineCount > 1 && "cannot offline the last core");
+  C.Offline = true;
+  --OnlineCount;
+  LastOfflineAt = Sim.now();
+  if (SimThread *T = C.Running) {
+    // Credit the work the interrupted slice completed before the failure;
+    // the rest of the burst resumes after rescue.
+    SimTime Ran = Sim.now() - C.SliceAt;
+    SimTime Done = 0;
+    if (Ran > C.SliceOverhead)
+      Done = std::min(
+          static_cast<SimTime>(static_cast<double>(Ran - C.SliceOverhead) /
+                               C.SliceDilation),
+          C.SliceWork);
+    assert(T->RemainingBurst >= Done);
+    T->RemainingBurst -= Done;
+    T->BusyTime += Done * (1 + T->GangHold);
+    ++C.Epoch; // cancel the in-flight endSlice
+    C.Running = nullptr;
+    C.LastThread = T;
+    T->State = ThreadState::Stranded;
+    T->CoreIdx = -1;
+    ++StrandedCount;
+    // Gang helpers stay reserved: the stranded burst still owns them and
+    // completes on rescue.
+    setBusyCount(BusyCount - 1);
+  }
+  if (Tel) {
+    Tel->metrics().counter("machine.faults.offline").add();
+    Tel->instant(TelPid, CoreIdx, "machine", "fault_offline",
+                 {telemetry::TraceArg::num("online", OnlineCount),
+                  telemetry::TraceArg::num("stranded", StrandedCount)});
+    if (TelCoreSpan[CoreIdx]) {
+      Tel->end(TelPid, CoreIdx, "core", TelCoreSpan[CoreIdx]->name());
+      TelCoreSpan[CoreIdx] = nullptr;
+    }
+  }
+  if (OnTopologyChange)
+    OnTopologyChange(OnlineCount);
+  dispatch();
+}
+
+unsigned Machine::rescueStranded() {
+  unsigned N = 0;
+  for (const auto &TP : Threads) {
+    SimThread *T = TP.get();
+    if (T->State != ThreadState::Stranded)
+      continue;
+    T->State = ThreadState::Ready;
+    ReadyQueue.push_back(T);
+    ++N;
+  }
+  assert(N == StrandedCount && "stranded-count bookkeeping diverged");
+  StrandedCount = 0;
+  if (N > 0) {
+    if (Tel) {
+      Tel->metrics().counter("machine.faults.rescued").add(N);
+      Tel->instant(TelPid, 0, "machine", "rescue",
+                   {telemetry::TraceArg::num("threads", N)});
+    }
+    dispatch();
+  }
+  return N;
+}
+
+void Machine::terminate(SimThread *T) {
+  if (T->State == ThreadState::Finished)
+    return;
+  switch (T->State) {
+  case ThreadState::Running: {
+    Core &C = Cores[static_cast<unsigned>(T->CoreIdx)];
+    assert(C.Running == T);
+    ++C.Epoch; // cancel the in-flight endSlice
+    C.Running = nullptr;
+    C.LastThread = T;
+    setBusyCount(BusyCount - 1);
+    break;
+  }
+  case ThreadState::Stranded:
+    assert(StrandedCount > 0);
+    --StrandedCount;
+    break;
+  case ThreadState::Ready:
+    // Still in the ready queue; tryAssign drops it once Finished.
+    break;
+  case ThreadState::Blocked:
+    // Stale waiter-list entries are discarded when the waitable next
+    // notifies (wake() ignores non-Blocked threads).
+    break;
+  case ThreadState::Finished:
+    break;
+  }
+  if (T->GangHold > 0)
+    releaseGangHold(T);
+  T->State = ThreadState::Finished;
+  T->RemainingBurst = 0;
+  T->PendingGang = 0;
+  T->CoreIdx = -1;
+  assert(AliveCount > 0);
+  --AliveCount;
+  if (Tel)
+    for (unsigned I = 0; I < TelCoreSpan.size(); ++I)
+      if (TelCoreSpan[I] == T) {
+        Tel->end(TelPid, I, "core", T->name());
+        TelCoreSpan[I] = nullptr;
+      }
+  T->ExitEvent.notifyAll();
+  if (GangAvail.hasWaiters())
+    GangAvail.notifyAll();
   dispatch();
 }

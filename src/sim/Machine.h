@@ -22,6 +22,7 @@
 #ifndef PARCAE_SIM_MACHINE_H
 #define PARCAE_SIM_MACHINE_H
 
+#include "sim/Faults.h"
 #include "sim/Simulator.h"
 #include "sim/Time.h"
 #include "telemetry/Telemetry.h"
@@ -31,6 +32,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -99,7 +101,11 @@ public:
   virtual Action resume(Machine &M, SimThread &T) = 0;
 };
 
-enum class ThreadState { Ready, Running, Blocked, Finished };
+/// Stranded: the thread's core went offline mid-slice; it holds no core
+/// and cannot run again until Machine::rescueStranded() re-queues it —
+/// the genuine stall a dead core causes, which the Morta watchdog must
+/// detect and repair.
+enum class ThreadState { Ready, Running, Blocked, Stranded, Finished };
 
 /// One simulated software thread.
 class SimThread {
@@ -178,6 +184,48 @@ public:
   /// meter. Receives the *previous* count's end time implicitly via now().
   std::function<void(unsigned NewBusyCount)> OnBusyCountChange;
 
+  // --- Fault model (sim/Faults.h) --------------------------------------
+
+  /// Installs a fault plan: offline events are scheduled on the simulator,
+  /// straggler windows dilate slices, and workers query transient faults
+  /// via transientFailCount(). Call before the run starts.
+  void installFaultPlan(FaultPlan Plan);
+  const FaultPlan *faultPlan() const { return Plan ? &*Plan : nullptr; }
+
+  /// Cores still operational (numCores() minus offlined ones).
+  unsigned onlineCores() const { return OnlineCount; }
+
+  /// Permanently fails a core. A thread running on it is stranded (state
+  /// ThreadState::Stranded) with its slice's completed work credited; it
+  /// stays stranded until rescueStranded().
+  void offlineCore(unsigned CoreIdx);
+
+  /// Threads currently stranded on failed cores.
+  unsigned strandedThreads() const { return StrandedCount; }
+
+  /// Re-queues every stranded thread on the surviving cores, resuming the
+  /// interrupted burst where it stopped. Returns how many were rescued.
+  unsigned rescueStranded();
+
+  /// Kills a thread in any state: its core (if running) is freed, gang
+  /// reservations are released, and it counts as finished. Used by the
+  /// abortive recovery path that cuts short in-flight iterations.
+  void terminate(SimThread *T);
+
+  /// Virtual time of the most recent offlineCore() (watchdog detection
+  /// latency is measured against this).
+  SimTime lastOfflineAt() const { return LastOfflineAt; }
+
+  /// Fires after the online-core count shrinks (from offlineCore).
+  std::function<void(unsigned OnlineCores)> OnTopologyChange;
+
+  /// Transient-fault query for workers: attempts of (\p Task, \p Seq) that
+  /// fault before one succeeds (0 when no plan is installed).
+  unsigned transientFailCount(const std::string &Task,
+                              std::uint64_t Seq) const {
+    return Plan ? Plan->transientFailCount(Task, Seq) : 0;
+  }
+
   /// Telemetry sink (null = tracing off). Picked up from the process-wide
   /// recorder at construction; the machine binds the recorder's virtual
   /// clock to its simulator, rebasing time across successive runs.
@@ -189,6 +237,18 @@ private:
   struct Core {
     SimThread *Running = nullptr;
     SimThread *LastThread = nullptr;
+    bool Offline = false;
+    /// Slice epoch: incremented whenever the in-flight end-of-slice event
+    /// must be cancelled (offline strands the runner, terminate kills it).
+    /// The scheduled endSlice carries the epoch it was armed under and
+    /// no-ops on mismatch — scheduled events cannot be unscheduled.
+    std::uint64_t Epoch = 0;
+    // Metadata of the in-flight slice, for crediting partial work when a
+    // fault interrupts it.
+    SimTime SliceAt = 0;       ///< absolute start time
+    SimTime SliceOverhead = 0; ///< switch overhead before work begins
+    SimTime SliceWork = 0;     ///< work cycles this slice covers
+    double SliceDilation = 1.0;
   };
 
   void wake(SimThread *T);
@@ -196,7 +256,9 @@ private:
   void tryAssign();
   void startSlice(unsigned CoreIdx, SimThread *T);
   bool tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles);
-  void endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen);
+  void endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen,
+                std::uint64_t Epoch);
+  void releaseGangHold(SimThread *T);
   void setBusyCount(unsigned N);
   void emitBusySample();
 
@@ -209,6 +271,10 @@ private:
   unsigned Reserved = 0;     ///< gang helper cores currently reserved
   Waitable GangAvail;        ///< signalled when occupied cores decrease
   unsigned AliveCount = 0;
+  unsigned OnlineCount = 0;  ///< cores not offlined by a fault
+  unsigned StrandedCount = 0;
+  SimTime LastOfflineAt = 0;
+  std::optional<FaultPlan> Plan;
   bool InDispatch = false;
   bool DispatchPending = false;
   // Busy-core-time integral bookkeeping.

@@ -3,8 +3,30 @@
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 using namespace parcae;
+
+namespace {
+std::uint64_t GlobalSeed = 1;
+} // namespace
+
+std::uint64_t parcae::defaultSeed() { return GlobalSeed; }
+
+void parcae::setDefaultSeed(std::uint64_t Seed) { GlobalSeed = Seed; }
+
+std::uint64_t parcae::seedFlag(int Argc, char **Argv,
+                               std::uint64_t Fallback) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--seed") == 0 && I + 1 < Argc)
+      return std::strtoull(Argv[I + 1], nullptr, 10);
+    if (std::strncmp(A, "--seed=", 7) == 0)
+      return std::strtoull(A + 7, nullptr, 10);
+  }
+  return Fallback;
+}
 
 double Rng::nextNormal(double Mean, double Stddev) {
   assert(Stddev >= 0 && "stddev must be non-negative");

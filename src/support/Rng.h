@@ -90,6 +90,16 @@ private:
   std::uint64_t State;
 };
 
+/// Process-wide default seed benches derive their Rng streams from, so
+/// one `--seed` flag reproduces a whole run (schedules, load generators,
+/// scattered fault plans). Defaults to 1.
+std::uint64_t defaultSeed();
+void setDefaultSeed(std::uint64_t Seed);
+
+/// Parses `--seed N` / `--seed=N` from argv; returns \p Fallback when the
+/// flag is absent.
+std::uint64_t seedFlag(int Argc, char **Argv, std::uint64_t Fallback = 1);
+
 } // namespace parcae
 
 #endif // PARCAE_SUPPORT_RNG_H

@@ -109,6 +109,7 @@ struct TraceEvent {
 constexpr std::uint32_t TidExec = 0;       ///< region-execution lifecycle
 constexpr std::uint32_t TidController = 250;
 constexpr std::uint32_t TidRunner = 251;
+constexpr std::uint32_t TidWatchdog = 252;
 
 /// The structured event log. Bounded: beyond the event capacity new events
 /// are counted as dropped rather than recorded, so a runaway trace cannot

@@ -12,11 +12,15 @@
 #include "core/WorkSource.h"
 #include "morta/Controller.h"
 #include "morta/RegionRunner.h"
+#include "morta/Watchdog.h"
 #include "nona/Programs.h"
 #include "nona/Run.h"
+#include "sim/Faults.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
+
+#include <functional>
 
 using namespace parcae;
 using namespace parcae::rt;
@@ -260,6 +264,219 @@ TEST(FaultInjection, ChaoticNonaRunsAcrossSuite) {
             << P.Name << " seed " << Seed;
     }
   }
+}
+
+TEST(FaultInjection, CoreOfflineMidOptimizeRecovers) {
+  // Two cores die while the controller is mid-OPTIMIZE (the worst time:
+  // it is actively probing DoPs). The watchdog must detect the capacity
+  // drop, rescue any stranded worker, shrink the budget, and the run
+  // must still emit the complete ordered stream.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(3000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  bool Killed = false;
+  std::function<void()> Poll = [&] {
+    if (!Killed && Ctrl.state() == CtrlState::Optimize) {
+      Killed = true;
+      M.offlineCore(6);
+      M.offlineCore(7);
+      return;
+    }
+    if (!Killed && !Runner.completed())
+      Sim.schedule(100 * sim::USec, Poll);
+  };
+  Sim.schedule(100 * sim::USec, Poll);
+  Sim.run();
+  EXPECT_TRUE(Killed) << "controller never reached OPTIMIZE";
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(M.onlineCores(), 6u);
+  EXPECT_GE(Dog.detections(), 1u);
+  EXPECT_LE(Ctrl.threadBudget(), 6u);
+  ASSERT_EQ(Tail.size(), 3000u);
+  for (std::int64_t I = 0; I < 3000; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, StragglerTriggersMonitorRecalibration) {
+  // Every core runs 4x dilated from 20 ms on: throughput collapses well
+  // past the MONITOR drift threshold, so the controller must leave
+  // MONITOR and re-calibrate for the degraded platform.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  sim::FaultPlan Plan;
+  for (unsigned Core = 0; Core < 4; ++Core)
+    Plan.addStraggler(Core, 20 * sim::MSec, 40 * sim::MSec, 4.0);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(1'000'000'000ull);
+  FlexibleRegion Region = makeSPS();
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(4);
+  Dog.start();
+  Sim.runUntil(60 * sim::MSec);
+  bool SettledBefore = false, RecalibratedAfter = false;
+  for (const RegionController::TraceEntry &E : Ctrl.trace()) {
+    if (E.St == CtrlState::Monitor && E.At < 20 * sim::MSec)
+      SettledBefore = true;
+    if (E.St == CtrlState::Calibrate && E.At > 20 * sim::MSec)
+      RecalibratedAfter = true;
+  }
+  EXPECT_TRUE(SettledBefore) << "controller never reached MONITOR";
+  EXPECT_TRUE(RecalibratedAfter)
+      << "straggler-induced drift never triggered re-calibration";
+  EXPECT_GT(Runner.totalRetired(), 0u);
+}
+
+TEST(FaultInjection, TransientFaultRetriesPreserveExactlyOnce) {
+  // Declared transient faults: those iterations retry (with backoff) and
+  // then succeed; each runs its functor exactly once.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addTransient("b", 10, 1);
+  Plan.addTransient("b", 50, 2);
+  Plan.addTransient("b", 51, 1);
+  Plan.addTransient("b", 200, 3);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(400);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Runner.start(C);
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(Runner.totalFaults(), 7u); // 1 + 2 + 1 + 3 attempts faulted
+  EXPECT_EQ(Runner.totalEscalations(), 0u);
+  ASSERT_EQ(Tail.size(), 400u);
+  for (std::int64_t I = 0; I < 400; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, TransientRetryExhaustionFallsBackToSeq) {
+  // One iteration of the parallel task faults beyond the retry budget.
+  // The escalation must reach the watchdog, which degrades the region to
+  // its SEQ variant — whose task names dodge the fault — and the run
+  // completes with nothing lost or duplicated.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addTransient("b", 100, 1000); // effectively permanent
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(800);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GE(Runner.totalEscalations(), 1u);
+  EXPECT_GE(Dog.escalationsHandled(), 1u);
+  EXPECT_GE(Runner.recoveries(), 1u);
+  EXPECT_GT(Runner.totalFaults(),
+            static_cast<std::uint64_t>(Costs.MaxFaultRetries));
+  ASSERT_EQ(Tail.size(), 800u);
+  for (std::int64_t I = 0; I < 800; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, ExactlyOnceAcrossAbortiveRecovery) {
+  // Direct abortive recoveries mid-stream: in-flight iterations above
+  // the commit frontier are killed and replayed; the tail stream must
+  // come out complete and in order regardless.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  CountedWorkSource Src(2000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Runner.start(C);
+  for (sim::SimTime At : {2 * sim::MSec, 4 * sim::MSec})
+    Sim.schedule(At, [&Runner, C] {
+      if (!Runner.completed())
+        Runner.recover(C);
+    });
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(Runner.recoveries(), 2u);
+  ASSERT_EQ(Tail.size(), 2000u);
+  for (std::int64_t I = 0; I < 2000; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, IdenticalSeedsReplayIdentically) {
+  // The acceptance bar for the fault model: with the same seed, a run
+  // with stragglers, a core failure, transient faults, a controller, and
+  // a watchdog reproduces the exact same event sequence.
+  auto Run = [](std::uint64_t Seed) {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 8);
+    sim::FaultPlan Plan;
+    Plan.addStraggler(1, 1 * sim::MSec, 2 * sim::MSec, 3.0);
+    Plan.addOffline(7, 3 * sim::MSec);
+    Plan.scatterTransients(Seed, "b", 100, 1200, 25, 2);
+    M.installFaultPlan(std::move(Plan));
+    RuntimeCosts Costs;
+    CountedWorkSource Src(1500);
+    std::vector<std::int64_t> Tail;
+    FlexibleRegion Region = makeSPS(&Tail);
+    RegionRunner Runner(M, Costs, Region, Src);
+    RegionController Ctrl(Runner);
+    Watchdog Dog(Ctrl);
+    Ctrl.start(8);
+    Dog.start();
+    Sim.run();
+    EXPECT_TRUE(Runner.completed());
+    EXPECT_EQ(Tail.size(), 1500u);
+    return std::make_pair(Sim.eventsProcessed(), Tail);
+  };
+  auto A = Run(7), B = Run(7);
+  EXPECT_EQ(A.first, B.first) << "event counts diverged under one seed";
+  EXPECT_EQ(A.second, B.second);
+}
+
+TEST(FaultInjection, QueueSourceRewindReplaysSameItems) {
+  QueueWorkSource Src;
+  for (std::int64_t V = 10; V < 14; ++V) {
+    Token T;
+    T.Value = V;
+    ASSERT_TRUE(Src.push(T));
+  }
+  Token T;
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 10);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 12);
+  // Un-pull the last two: they must come back in the original order.
+  ASSERT_TRUE(Src.rewind(2));
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 11);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 12);
+  // Deeper than the pull history: refuse (recovery then drains instead).
+  EXPECT_FALSE(Src.rewind(5));
 }
 
 TEST(FaultInjection, WorkScaleChangeMidChaos) {

@@ -1,6 +1,7 @@
 //===- SimTest.cpp - Unit tests for the discrete-event simulator -----------===//
 
 #include "sim/BoundedQueue.h"
+#include "sim/Faults.h"
 #include "sim/Machine.h"
 #include "sim/Power.h"
 #include "sim/Simulator.h"
@@ -251,6 +252,133 @@ TEST(BoundedQueue, BasicOps) {
   EXPECT_TRUE(Q.tryPop(V));
   EXPECT_EQ(V, 2);
   EXPECT_FALSE(Q.tryPop(V));
+}
+
+TEST(BoundedQueue, CloseRejectsPushAndDrainsToClosed) {
+  BoundedQueue<int> Q(4);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  Q.close();
+  EXPECT_TRUE(Q.closed());
+  EXPECT_FALSE(Q.tryPush(3)) << "closed queue must reject pushes";
+  int V = 0;
+  // Queued items still drain; only then does pop report Closed.
+  EXPECT_EQ(Q.pop(V), BoundedQueue<int>::PopResult::Got);
+  EXPECT_EQ(V, 1);
+  EXPECT_EQ(Q.pop(V), BoundedQueue<int>::PopResult::Got);
+  EXPECT_EQ(V, 2);
+  EXPECT_EQ(Q.pop(V), BoundedQueue<int>::PopResult::Closed);
+  Q.close(); // idempotent
+  EXPECT_EQ(Q.pop(V), BoundedQueue<int>::PopResult::Closed);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  // Regression: a consumer blocked on notEmpty() used to sleep forever
+  // when the producer went away. close() must wake it so it can observe
+  // shutdown and exit.
+  class ShutdownConsumer : public ThreadBody {
+  public:
+    ShutdownConsumer(BoundedQueue<int> &Q, std::vector<int> &Out,
+                     bool &SawClose)
+        : Q(Q), Out(Out), SawClose(SawClose) {}
+    Action resume(Machine &, SimThread &) override {
+      int V;
+      switch (Q.pop(V)) {
+      case BoundedQueue<int>::PopResult::Got:
+        Out.push_back(V);
+        return Action::compute(10);
+      case BoundedQueue<int>::PopResult::Empty:
+        return Action::block(Q.notEmpty());
+      case BoundedQueue<int>::PopResult::Closed:
+        SawClose = true;
+        return Action::finish();
+      }
+      return Action::finish();
+    }
+    BoundedQueue<int> &Q;
+    std::vector<int> &Out;
+    bool &SawClose;
+  };
+  Simulator Sim;
+  Machine M(Sim, 2);
+  BoundedQueue<int> Q(4);
+  std::vector<int> Out;
+  bool SawClose = false;
+  M.spawn("cons", std::make_unique<ShutdownConsumer>(Q, Out, SawClose));
+  Sim.schedule(100, [&Q] {
+    Q.tryPush(1);
+    Q.tryPush(2);
+  });
+  Sim.schedule(500, [&Q] { Q.close(); });
+  Sim.run();
+  EXPECT_TRUE(SawClose) << "consumer stranded past shutdown";
+  EXPECT_EQ(Out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(M.threadsAlive(), 0u);
+}
+
+TEST(Machine, OfflineStrandsThreadAndRescueRequeues) {
+  Simulator Sim;
+  Machine M(Sim, 2);
+  FaultPlan Plan;
+  Plan.addOffline(0, 50);
+  M.installFaultPlan(std::move(Plan));
+  M.spawn("a", std::make_unique<BurstBody>(1, 1000));
+  M.spawn("b", std::make_unique<BurstBody>(1, 1000));
+  Sim.runUntil(60);
+  // The thread on core 0 is held hostage by the dead core.
+  EXPECT_EQ(M.onlineCores(), 1u);
+  EXPECT_EQ(M.strandedThreads(), 1u);
+  EXPECT_EQ(M.lastOfflineAt(), 50u);
+  EXPECT_EQ(M.rescueStranded(), 1u);
+  EXPECT_EQ(M.strandedThreads(), 0u);
+  Sim.run();
+  // Both threads complete, time-sliced on the surviving core.
+  EXPECT_EQ(M.threadsAlive(), 0u);
+}
+
+TEST(Machine, StragglerDilatesCompute) {
+  Simulator Sim;
+  Machine M(Sim, 1);
+  FaultPlan Plan;
+  Plan.addStraggler(0, 0, 1'000'000, 2.0);
+  M.installFaultPlan(std::move(Plan));
+  M.spawn("t", std::make_unique<BurstBody>(1, 1000));
+  Sim.run();
+  // 1000 cycles of work at 2x dilation take 2000 cycles of wall time.
+  EXPECT_EQ(Sim.now(), 2000u);
+}
+
+TEST(FaultPlan, DilationWindowsMultiply) {
+  FaultPlan Plan;
+  Plan.addStraggler(2, 100, 100, 2.0);
+  Plan.addStraggler(2, 150, 100, 3.0);
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 50), 1.0);
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 120), 2.0);
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 180), 6.0); // stacked co-tenants
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 220), 3.0);
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 260), 1.0);
+  EXPECT_DOUBLE_EQ(Plan.dilation(0, 180), 1.0); // other cores nominal
+}
+
+TEST(FaultPlan, ScatterIsDeterministicAndBounded) {
+  FaultPlan A, B;
+  A.scatterTransients(42, "work", 100, 500, 30, 3);
+  B.scatterTransients(42, "work", 100, 500, 30, 3);
+  EXPECT_EQ(A.numTransients(), B.numTransients());
+  EXPECT_GT(A.numTransients(), 0u);
+  unsigned Mismatch = 0;
+  for (std::uint64_t Seq = 100; Seq < 500; ++Seq) {
+    unsigned FA = A.transientFailCount("work", Seq);
+    unsigned FB = B.transientFailCount("work", Seq);
+    if (FA != FB)
+      ++Mismatch;
+    EXPECT_LE(FA, 3u);
+  }
+  EXPECT_EQ(Mismatch, 0u);
+  // Outside the scattered range and for other tasks: nothing.
+  EXPECT_EQ(A.transientFailCount("work", 99), 0u);
+  EXPECT_EQ(A.transientFailCount("work", 500), 0u);
+  EXPECT_EQ(A.transientFailCount("other", 200), 0u);
 }
 
 TEST(Power, EnergyIntegration) {
