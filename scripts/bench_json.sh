@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench_json.sh — run the perf microbenchmarks and collect their
+# machine-readable summaries:
+#   BENCH_simcore.json    events/sec + allocs/event of the discrete-event
+#                         core vs the legacy std::function implementation
+#   BENCH_overheads.json  per-iteration Morta/Decima + channel overhead at
+#                         pinned chunk sizes K = 1 / 8 / 32
+#
+# Usage: bench_json.sh <bench-bindir> [outdir]
+#   <bench-bindir>  directory containing bench_simcore / bench_overheads
+#   [outdir]        where the JSON lands (default: <bench-bindir>)
+
+set -eu
+
+BINDIR=${1:?usage: bench_json.sh <bench-bindir> [outdir]}
+OUTDIR=${2:-$BINDIR}
+mkdir -p "$OUTDIR"
+
+# Modest event count: enough for a stable rate, small enough for CI.
+"$BINDIR/bench_simcore" --events 500000 --json "$OUTDIR/BENCH_simcore.json"
+"$BINDIR/bench_overheads" --json "$OUTDIR/BENCH_overheads.json"
+
+echo "bench_json.sh: wrote $OUTDIR/BENCH_simcore.json"
+echo "bench_json.sh: wrote $OUTDIR/BENCH_overheads.json"

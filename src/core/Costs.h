@@ -22,9 +22,15 @@ namespace parcae::rt {
 
 /// Overheads of the Morta/Decima machinery and their Chapter 7 switches.
 struct RuntimeCosts {
-  /// Sending / receiving one token over a point-to-point channel.
+  /// Sending / receiving one token over a point-to-point channel: the
+  /// fixed per-transfer cost (synchronization, wakeup, cache handoff).
   sim::SimTime CommSend = 120;
   sim::SimTime CommRecv = 120;
+  /// Marginal cost of each additional token in a batched transfer. A
+  /// chunked worker moves K tokens per channel interaction and pays
+  /// CommSend/CommRecv once plus CommPerToken for the K-1 extras, so
+  /// per-iteration communication overhead is O(1/K) + CommPerToken.
+  sim::SimTime CommPerToken = 20;
   /// One Decima begin/end hook pair (two rdtsc reads, Section 8.3.6).
   sim::SimTime HookCost = 40;
   /// One Task::getStatus() query against Morta.

@@ -33,6 +33,15 @@ bool Link::trySend(const Token &T) {
   return true;
 }
 
+std::size_t Link::trySendBatch(const Token *Toks, std::size_t N) {
+  std::size_t Sent = 0;
+  // Tokens arrive in ascending Seq, so admission fails at a prefix
+  // boundary: once one token is outside the window, the rest are too.
+  while (Sent < N && trySend(Toks[Sent]))
+    ++Sent;
+  return Sent;
+}
+
 bool Link::tryRecv(unsigned Slot, std::uint64_t Seq, Token &Out) {
   assert(Slot < Buffers.size() && "slot out of range");
   assert(Consumer.slotOf(Seq) == Slot &&

@@ -51,6 +51,13 @@ public:
   /// the admission window; block on spaceAvail() and retry.
   bool trySend(const Token &T);
 
+  /// Batched transfer: enqueues a prefix of \p Toks (ascending Seq) and
+  /// returns how many were accepted. Zero means even the first token is
+  /// beyond the admission window — block on spaceAvail() and retry with
+  /// the remainder. One batched call models one channel interaction, so
+  /// chunked producers pay the fixed send cost once per chunk.
+  std::size_t trySendBatch(const Token *Toks, std::size_t N);
+
   /// Attempts to dequeue the token of iteration \p Seq for consumer slot
   /// \p Slot. Fails when it has not arrived yet; block on dataAvail(Slot).
   bool tryRecv(unsigned Slot, std::uint64_t Seq, Token &Out);

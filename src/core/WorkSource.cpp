@@ -2,9 +2,29 @@
 
 #include "core/WorkSource.h"
 
+#include <algorithm>
+
 using namespace parcae::rt;
 
 WorkSource::~WorkSource() = default;
+
+WorkSource::Pull WorkSource::tryPullChunk(std::uint64_t Max,
+                                          std::vector<Token> &Out) {
+  assert(Max > 0 && "chunk claims must request at least one item");
+  Token T;
+  Pull First = tryPull(T);
+  if (First != Pull::Got)
+    return First;
+  Out.push_back(T);
+  for (std::uint64_t I = 1; I < Max; ++I) {
+    // A partial chunk is fine: stopping at the first Wait/End keeps the
+    // claim non-blocking, and End is re-derived on the next claim.
+    if (tryPull(T) != Pull::Got)
+      break;
+    Out.push_back(T);
+  }
+  return Pull::Got;
+}
 
 WorkSource::Pull QueueWorkSource::tryPull(Token &Out) {
   if (!Items.empty()) {
@@ -16,6 +36,22 @@ WorkSource::Pull QueueWorkSource::tryPull(Token &Out) {
     return Pull::Got;
   }
   return Closed ? Pull::End : Pull::Wait;
+}
+
+WorkSource::Pull QueueWorkSource::tryPullChunk(std::uint64_t Max,
+                                               std::vector<Token> &Out) {
+  assert(Max > 0 && "chunk claims must request at least one item");
+  if (Items.empty())
+    return Closed ? Pull::End : Pull::Wait;
+  std::uint64_t N = std::min<std::uint64_t>(Max, Items.size());
+  for (std::uint64_t I = 0; I < N; ++I) {
+    Out.push_back(Items.front());
+    History.push_back(Items.front());
+    Items.pop_front();
+  }
+  while (History.size() > HistoryCap)
+    History.pop_front();
+  return Pull::Got;
 }
 
 bool QueueWorkSource::rewind(std::uint64_t Count) {
@@ -31,12 +67,16 @@ bool QueueWorkSource::rewind(std::uint64_t Count) {
 }
 
 bool QueueWorkSource::push(Token Item) {
-  assert(!Closed && "pushing into a closed work queue");
-  if (Items.size() >= Capacity)
+  // Closed queues reject instead of asserting: in release builds the old
+  // assert vanished and a late producer could slip items past the
+  // end-of-stream consumers had already observed.
+  if (Closed || Items.size() >= Capacity)
     return false;
   Items.push_back(std::move(Item));
   ++Accepted;
-  Ready.notifyAll();
+  // One item satisfies one head-worker claim; waking the whole herd only
+  // makes the losers re-poll and re-block.
+  Ready.notifyOne();
   return true;
 }
 
@@ -51,5 +91,20 @@ WorkSource::Pull CountedWorkSource::tryPull(Token &Out) {
   Out = Token{};
   Out.Value = static_cast<std::int64_t>(Next);
   ++Next;
+  return Pull::Got;
+}
+
+WorkSource::Pull CountedWorkSource::tryPullChunk(std::uint64_t Max,
+                                                 std::vector<Token> &Out) {
+  assert(Max > 0 && "chunk claims must request at least one item");
+  if (Next >= N)
+    return Pull::End;
+  std::uint64_t Take = std::min<std::uint64_t>(Max, N - Next);
+  for (std::uint64_t I = 0; I < Take; ++I) {
+    Token T{};
+    T.Value = static_cast<std::int64_t>(Next + I);
+    Out.push_back(T);
+  }
+  Next += Take;
   return Pull::Got;
 }

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 namespace parcae::rt {
 
@@ -38,6 +39,15 @@ public:
 
   /// Attempts to pull the next item.
   virtual Pull tryPull(Token &Out) = 0;
+
+  /// Attempts to pull up to \p Max items in one claim, appending them to
+  /// \p Out. Returns Got when at least one item was appended (possibly
+  /// fewer than \p Max — a partial chunk, not an error), otherwise Wait
+  /// or End exactly as tryPull would. One claim pays the fixed claiming
+  /// cost once however many items it returns; this is what makes chunked
+  /// execution O(1/K) in overhead. The base implementation loops
+  /// tryPull; sources override it when a batched grab is cheaper.
+  virtual Pull tryPullChunk(std::uint64_t Max, std::vector<Token> &Out);
 
   /// Signalled when a Wait result may have turned into Got or End.
   virtual sim::Waitable &readyEvent() = 0;
@@ -61,12 +71,16 @@ public:
       : Capacity(Capacity) {}
 
   Pull tryPull(Token &Out) override;
+  Pull tryPullChunk(std::uint64_t Max, std::vector<Token> &Out) override;
   sim::Waitable &readyEvent() override { return Ready; }
   double load() const override { return static_cast<double>(Items.size()); }
   bool rewind(std::uint64_t Count) override;
 
-  /// Enqueues a work item. Returns false when the queue is full (the item
-  /// is dropped; the caller may count it as a rejected request).
+  /// Enqueues a work item. Returns false when the queue is full or
+  /// closed (the item is dropped; the caller may count it as a rejected
+  /// request). A closed queue rejecting instead of asserting matters in
+  /// release builds, where a racing producer must not smuggle items past
+  /// the end-of-stream the consumers already observed.
   bool push(Token Item);
 
   /// No more items will arrive; the region ends when the queue drains.
@@ -96,6 +110,7 @@ public:
   explicit CountedWorkSource(std::uint64_t N) : N(N) {}
 
   Pull tryPull(Token &Out) override;
+  Pull tryPullChunk(std::uint64_t Max, std::vector<Token> &Out) override;
   sim::Waitable &readyEvent() override { return Ready; }
   double load() const override {
     return static_cast<double>(N - Next);

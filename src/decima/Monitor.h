@@ -78,6 +78,17 @@ public:
            static_cast<double>(S.Iterations);
   }
 
+  /// Average Morta/Decima machinery time per iteration of a task, in
+  /// cycles (hooks, status polls, activation loop). The chunking policy
+  /// and the overheads bench read this to see what amortization buys.
+  static double getOverheadTime(const RegionExec &R, unsigned TaskIdx) {
+    const TaskStats &S = R.stats(TaskIdx);
+    if (S.Iterations == 0)
+      return 0.0;
+    return static_cast<double>(S.OverheadTime) /
+           static_cast<double>(S.Iterations);
+  }
+
   /// Current workload on a task — the paper's Parcae::getLoad.
   static double getLoad(const RegionExec &R, unsigned TaskIdx) {
     return R.loadOf(TaskIdx);

@@ -79,6 +79,12 @@ void RegionController::recordTrace(double Thr) {
 }
 
 void RegionController::applyConfig(RegionConfig C) {
+  // Pre-degrade the chunk size before the switch lands: if the runner
+  // takes the full pause-drain path, workers should not claim multi-item
+  // chunks whose drain would stretch the reconfigure latency. (The
+  // execution degrades again on requestPause; this just closes the gap
+  // between the controller's decision and the pause reaching workers.)
+  Runner.chunkPolicy().degradeForPause();
   Runner.reconfigure(std::move(C));
 }
 

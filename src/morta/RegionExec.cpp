@@ -120,6 +120,8 @@ void RegionExec::noteFault(unsigned TaskIdx, std::uint64_t Seq,
 void RegionExec::abort() {
   assert(canAbort() && "abort requires a sequential tail");
   Aborted = true;
+  if (Chunking)
+    Chunking->degradeForPause(); // resume cautiously after recovery
   PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidExec, "exec", "abort",
                             {telemetry::TraceArg::num(
                                  "frontier",
@@ -144,6 +146,11 @@ void RegionExec::abort() {
 void RegionExec::requestPause() {
   if (PauseBound != NoSeq || Completed)
     return;
+  // Collapse chunking first: the drain obligation must not include
+  // deep chunks claimed after this point, and workers holding chunks
+  // give the unstarted tail back (Worker::stepFetch).
+  if (Chunking)
+    Chunking->degradeForPause();
   PauseBound = NextSeq;
   PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidExec, "exec", "pause",
                             {telemetry::TraceArg::num(
@@ -255,6 +262,70 @@ void RegionExec::retireIteration(unsigned TaskIdx) {
       Tel->counter(TelPid, telemetry::TidExec, "exec", "retired",
                    static_cast<double>(IterationsRetired));
   }
+  if (Chunking && (IterationsRetired % RetunePeriod) == 0 &&
+      PauseBound == NoSeq)
+    retuneChunking();
+}
+
+void RegionExec::retuneChunking() {
+  // Per-iteration work estimate: the slowest task dominates chunk
+  // latency, but the *cheapest* task has the worst overhead ratio, so
+  // tune against it — that is where amortization buys the most.
+  sim::SimTime ExecPerIter = 0;
+  for (const TaskStats &S : Stats) {
+    if (S.Iterations == 0)
+      continue;
+    sim::SimTime Mean = S.ComputeTime / S.Iterations;
+    if (ExecPerIter == 0 || Mean < ExecPerIter)
+      ExecPerIter = Mean;
+  }
+  sim::SimTime Fixed = Costs.HookCost + Costs.StatusQuery +
+                       (Links.empty() ? 0 : Costs.CommSend);
+  Chunking->retune(Fixed, ExecPerIter, maxLinkPressure());
+}
+
+double RegionExec::maxLinkPressure() const {
+  double Max = 0;
+  for (const auto &L : Links) {
+    double P = static_cast<double>(L->buffered()) /
+               static_cast<double>(L->window());
+    Max = std::max(Max, P);
+  }
+  return Max;
+}
+
+std::uint64_t RegionExec::chunkKFor(unsigned TaskIdx) const {
+  std::uint64_t K = Chunking ? Chunking->current() : 1;
+  if (K <= 1)
+    return 1;
+  // Degrade to classic per-iteration claiming while a drain is pending:
+  // the pause protocol's latency bound assumes one-deep obligations.
+  if (PauseBound != NoSeq)
+    return 1;
+  // A chunk buffered for one downstream channel must fit comfortably
+  // inside the admission window, or the flush itself would stall.
+  for (const Link *L : OutLinks[TaskIdx])
+    K = std::min(K, std::max<std::uint64_t>(1, L->window() / 2));
+  return K;
+}
+
+bool RegionExec::giveBackChunk(std::uint64_t Count) {
+  assert(Count > 0 && Count <= NextSeq - StartSeq);
+  if (!Source.rewind(Count))
+    return false;
+  NextSeq -= Count;
+  // A pause bound above the shrunk claim space would leave consumers
+  // waiting for iterations that no longer exist in this execution.
+  if (PauseBound != NoSeq && PauseBound > NextSeq)
+    PauseBound = NextSeq;
+  BoundEvent.notifyAll();
+  PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidExec, "exec",
+                            "chunk_give_back",
+                            {telemetry::TraceArg::num(
+                                 "count", static_cast<double>(Count)),
+                             telemetry::TraceArg::num(
+                                 "next_seq", static_cast<double>(NextSeq))}));
+  return true;
 }
 
 SimLock &RegionExec::lockFor(int LockId) {

@@ -29,6 +29,7 @@
 #ifndef PARCAE_MORTA_REGIONEXEC_H
 #define PARCAE_MORTA_REGIONEXEC_H
 
+#include "core/Chunking.h"
 #include "core/Costs.h"
 #include "core/Link.h"
 #include "core/Lock.h"
@@ -54,6 +55,10 @@ struct TaskStats {
   std::uint64_t Iterations = 0;
   sim::SimTime ComputeTime = 0;
   sim::SimTime CommTime = 0;
+  /// Morta/Decima machinery cycles (hooks, status queries, activation
+  /// loop): the overhead Section 8.3.6 argues is small — and chunking
+  /// amortizes. Distinct from CommTime, which channel batching shrinks.
+  sim::SimTime OverheadTime = 0;
 };
 
 /// Runs one RegionDesc under one configuration until the work source ends
@@ -159,6 +164,31 @@ public:
   sim::Machine &machine() { return M; }
   const RuntimeCosts &costs() const { return Costs; }
 
+  // --- Chunked claiming -----------------------------------------------
+
+  /// Installs the chunk-size policy (owned by the RegionRunner so the
+  /// learned K survives reconfigurations). Null — the default for
+  /// directly constructed executions — means chunk size 1, i.e. the
+  /// classic one-claim-per-iteration protocol.
+  void setChunkPolicy(ChunkPolicy *P) { Chunking = P; }
+
+  /// Deepest channel occupancy as a fraction of its admission window;
+  /// the policy's load-imbalance shrink signal.
+  double maxLinkPressure() const;
+
+private:
+  /// Chunk size task \p TaskIdx should use for its next chunk: the
+  /// policy's K clamped so a chunk never overfills a downstream channel
+  /// window, degraded to 1 while a pause is draining.
+  std::uint64_t chunkKFor(unsigned TaskIdx) const;
+
+  /// Returns the head's last \p Count claimed-but-unstarted iterations
+  /// to the source and lowers NextSeq (and a pending PauseBound) to
+  /// match. Only legal when those iterations are the contiguous tail of
+  /// the claim space — the caller checks. Returns false when the source
+  /// cannot replay them (the worker drains the chunk instead).
+  bool giveBackChunk(std::uint64_t Count);
+
 private:
   friend class Worker;
 
@@ -166,6 +196,8 @@ private:
   void onWorkerExit(Worker *W, TaskStatus Status);
   void updateLowWater(unsigned TaskIdx);
   void retireIteration(unsigned TaskIdx);
+  /// One DCAFE-style tuning step of the chunk policy from live stats.
+  void retuneChunking();
   /// Liveness heartbeat: the watchdog's stall detector reads these.
   void beat(unsigned TaskIdx) { LastBeat[TaskIdx] = M.sim().now(); }
   /// Records a transient fault attempt; escalates past the retry budget.
@@ -221,6 +253,11 @@ private:
   std::uint64_t IterationsRetired = 0;
   std::uint64_t StartSeq = 0;
   std::uint64_t CommitFrontier = 0;
+  /// Chunk-size policy (null = chunk size 1). Retuned every
+  /// RetunePeriod retirements, piggybacked on retireIteration so tuning
+  /// needs no timer and dies with the workers.
+  ChunkPolicy *Chunking = nullptr;
+  static constexpr std::uint64_t RetunePeriod = 256;
   std::vector<sim::SimTime> LastBeat; // per task
   std::uint64_t FaultsInjected = 0;
   std::uint64_t Escalations = 0;

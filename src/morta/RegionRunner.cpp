@@ -30,6 +30,7 @@ void RegionRunner::start(RegionConfig Initial) {
 void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
   Exec = std::make_unique<RegionExec>(M, Costs, Region.variant(C.S), Source,
                                       C, StartSeq);
+  Exec->setChunkPolicy(&Chunking);
   Config = std::move(C);
   Exec->OnComplete = [this] {
     Completed = true;

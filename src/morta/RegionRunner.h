@@ -23,6 +23,7 @@
 #ifndef PARCAE_MORTA_REGIONRUNNER_H
 #define PARCAE_MORTA_REGIONRUNNER_H
 
+#include "core/Chunking.h"
 #include "core/Costs.h"
 #include "core/Region.h"
 #include "core/WorkSource.h"
@@ -75,6 +76,13 @@ public:
   RegionExec *exec() { return Exec.get(); }
   const RegionExec *exec() const { return Exec.get(); }
 
+  /// The region's chunk-size policy. Owned here so the learned K
+  /// survives reconfigurations; each execution tunes it online and
+  /// degrades it to 1 around pause/drain. Benchmarks pin() it for
+  /// fixed-K A/B runs.
+  ChunkPolicy &chunkPolicy() { return Chunking; }
+  const ChunkPolicy &chunkPolicy() const { return Chunking; }
+
   /// Iterations retired across all executions of this region.
   std::uint64_t totalRetired() const {
     return RetiredBase + (Exec ? Exec->iterationsRetired() : 0);
@@ -116,6 +124,7 @@ private:
   WorkSource &Source;
 
   RegionConfig Config;
+  ChunkPolicy Chunking;
   std::unique_ptr<RegionExec> Exec;
   std::unique_ptr<RegionExec> Retiring; ///< kept alive until replaced
   RegionConfig Pending;

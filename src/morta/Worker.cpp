@@ -11,7 +11,16 @@ Worker::Worker(RegionExec &R, unsigned TaskIdx, unsigned Slot,
                std::uint64_t CursorFrom)
     : R(R), TaskIdx(TaskIdx), Slot(Slot), T(R.Desc.Tasks[TaskIdx]),
       IsHead(TaskIdx == 0), IsTail(TaskIdx + 1 == R.Desc.numTasks()),
-      CursorFrom(CursorFrom) {}
+      CursorFrom(CursorFrom) {
+  SendBufs.resize(R.outLinks(TaskIdx).size());
+}
+
+bool Worker::anyBuffered() const {
+  for (const auto &Buf : SendBufs)
+    if (!Buf.empty())
+      return true;
+  return false;
+}
 
 Action Worker::resume(sim::Machine &M, sim::SimThread &) {
   const RuntimeCosts &C = R.Costs;
@@ -44,12 +53,29 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
         }
       }
       Token Tok;
-      if (!In[NextIn]->tryRecv(Slot, Cursor, Tok))
+      if (!In[NextIn]->tryRecv(Slot, Cursor, Tok)) {
+        // Before going idle, push out any batched output tokens once —
+        // downstream should not wait on tokens this worker is merely
+        // sitting on. Best effort: the pass never blocks on a full
+        // window, and runs at most once per blocking episode.
+        if (NextIn == 0 && !IdleFlushDone && anyBuffered()) {
+          IdleFlushDone = true;
+          FlushResume = State::Recv;
+          FlushAll = true;
+          St = State::Send;
+          NextOut = 0;
+          return Action::compute(0);
+        }
+        IdleFlushDone = false;
         return Action::blockAny(In[NextIn]->dataAvail(Slot), R.BoundEvent);
+      }
       Ctx.In.push_back(std::move(Tok));
       ++NextIn;
-      R.Stats[TaskIdx].CommTime += C.CommRecv;
-      return Action::compute(C.CommRecv);
+      // The chunk's first iteration pays the full per-transfer cost; the
+      // rest ride the batched transfer at the marginal per-token rate.
+      sim::SimTime RC = ChunkHead ? C.CommRecv : C.CommPerToken;
+      R.Stats[TaskIdx].CommTime += RC;
+      return Action::compute(RC);
     }
     // All inputs in hand: run the functor and charge its cost.
     return runFunctor(M);
@@ -92,23 +118,21 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
       ++NextCrit;
       return Action::compute(0);
     }
+    // Stage this iteration's outputs into the per-link batch buffers;
+    // the Send pass decides which buffers are ripe for a flush.
+    {
+      auto &Out = R.outLinks(TaskIdx);
+      for (std::size_t I = 0; I < Out.size(); ++I)
+        SendBufs[I].push_back(std::move(Ctx.Out[I]));
+    }
+    FlushAll = ChunkIters <= 1; // chunk ends with this iteration
     St = State::Send;
     NextOut = 0;
     return Action::compute(0);
   }
 
-  case State::Send: {
-    auto &Out = R.outLinks(TaskIdx);
-    if (NextOut < Out.size()) {
-      if (!Out[NextOut]->trySend(Ctx.Out[NextOut]))
-        return Action::block(Out[NextOut]->spaceAvail());
-      ++NextOut;
-      R.Stats[TaskIdx].CommTime += C.CommSend;
-      return Action::compute(C.CommSend);
-    }
-    St = State::IterDone;
-    return Action::compute(0);
-  }
+  case State::Send:
+    return stepSend();
 
   case State::IterDone:
     ++R.Stats[TaskIdx].Iterations;
@@ -119,6 +143,9 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
     InIteration = false;
     CursorFrom = Cursor + 1;
     R.updateLowWater(TaskIdx);
+    if (ChunkIters > 0)
+      --ChunkIters;
+    IdleFlushDone = false;
     St = State::Fetch;
     return Action::compute(0);
 
@@ -135,18 +162,71 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
 }
 
 Action Worker::stepFetch() {
-  std::uint64_t Bound = std::min(R.PauseBound, R.EndBound);
-
   if (IsHead) {
+    // Unstarted items of the current chunk come first.
+    if (ChunkNext < Chunk.size()) {
+      std::uint64_t Bound = std::min(R.PauseBound, R.EndBound);
+      std::uint64_t SeqNext = ChunkStart + ChunkNext;
+      std::uint64_t Remaining = Chunk.size() - ChunkNext;
+      // Give-back is only history-consistent when the unstarted items
+      // are the contiguous tail of the claim space: then this worker's
+      // pulls were the source's last pulls and rewind() returns exactly
+      // these items.
+      bool ContigTail = ChunkStart + Chunk.size() == R.NextSeq;
+      // Items at/beyond the bound must not run. Only the end of the
+      // stream can cut a chunk — a pause bound is set at the claim
+      // frontier, above every claimed seq.
+      bool Cut = Bound != NoSeq && SeqNext >= Bound;
+      // Shedding: a pausing or retiring worker hands its unstarted tail
+      // back so the drain is as short as with chunk size 1 (this is what
+      // keeps reconfigure latency flat as K grows).
+      bool Shed = R.PauseBound != NoSeq ||
+                  Slot >= R.Schedules[TaskIdx].currentWidth();
+      if (((Cut || Shed) && ContigTail && R.giveBackChunk(Remaining)) ||
+          Cut) {
+        // Given back — or beyond end-of-stream with later claims in the
+        // way, in which case the items describe iterations that do not
+        // exist and are dropped.
+        Chunk.clear();
+        ChunkNext = 0;
+        ChunkIters = 0;
+      }
+      if (ChunkNext < Chunk.size()) {
+        Cursor = ChunkStart + ChunkNext;
+        ChunkHead = false;
+        Token Item = std::move(Chunk[ChunkNext]);
+        ++ChunkNext;
+        return beginIteration(std::move(Item));
+      }
+    }
+
+    // Recompute: a give-back above may have just clamped the bounds.
+    std::uint64_t Bound = std::min(R.PauseBound, R.EndBound);
     // A head slot whose slot index fell out of the current DoP retires.
     if (Slot >= R.Schedules[TaskIdx].currentWidth())
       return finishWith(TaskStatus::Paused);
     if (Bound != NoSeq && R.NextSeq >= Bound)
       return finishWith(R.EndBound <= R.PauseBound ? TaskStatus::Complete
                                                    : TaskStatus::Paused);
-    Token Item;
-    switch (R.Source.tryPull(Item)) {
+    std::uint64_t K = R.chunkKFor(TaskIdx);
+    if (Bound != NoSeq)
+      K = std::min(K, Bound - R.NextSeq);
+    Chunk.clear();
+    ChunkNext = 0;
+    switch (R.Source.tryPullChunk(std::max<std::uint64_t>(K, 1), Chunk)) {
     case WorkSource::Pull::Wait:
+      // Going idle: opportunistically push out batched tokens first so
+      // downstream is not starved by a quiet source (at most one pass
+      // per idle episode; the pass never blocks on a full window).
+      if (!IdleFlushDone && anyBuffered()) {
+        IdleFlushDone = true;
+        FlushResume = State::Fetch;
+        FlushAll = true;
+        St = State::Send;
+        NextOut = 0;
+        return Action::compute(0);
+      }
+      IdleFlushDone = false;
       return Action::blockAny(R.Source.readyEvent(), R.BoundEvent);
     case WorkSource::Pull::End:
       if (R.EndBound == NoSeq) {
@@ -157,25 +237,99 @@ Action Worker::stepFetch() {
     case WorkSource::Pull::Got:
       break;
     }
-    Cursor = R.NextSeq++;
-    InIteration = true;
-    Ctx.In.clear();
-    Ctx.In.push_back(std::move(Item));
-    NextIn = 0;
-    assert(R.inLinks(TaskIdx).empty() && "head task cannot have in-links");
-    return runFunctor(R.machine());
+    ChunkStart = R.NextSeq;
+    R.NextSeq += Chunk.size();
+    ChunkIters = Chunk.size();
+    ChunkHead = true;
+    Cursor = ChunkStart;
+    Token Item = std::move(Chunk.front());
+    ChunkNext = 1;
+    return beginIteration(std::move(Item));
   }
 
+  std::uint64_t Bound = std::min(R.PauseBound, R.EndBound);
   Cursor = R.Schedules[TaskIdx].firstSeqFor(Slot, CursorFrom);
   if (Cursor == NoSeq)
     return finishWith(TaskStatus::Paused); // slot retired by DoP decrease
   if (Bound != NoSeq && Cursor >= Bound)
     return finishWith(R.EndBound <= R.PauseBound ? TaskStatus::Complete
                                                  : TaskStatus::Paused);
+  // Non-head tasks chunk purely for cost grouping: every K-th owned
+  // iteration opens a new cost group and pays the per-chunk fixed costs.
+  if (ChunkIters == 0) {
+    ChunkIters = R.chunkKFor(TaskIdx);
+    ChunkHead = true;
+  } else {
+    ChunkHead = false;
+  }
   InIteration = true;
   Ctx.In.clear();
   NextIn = 0;
   St = State::Recv;
+  return Action::compute(0);
+}
+
+Action Worker::beginIteration(Token Item) {
+  InIteration = true;
+  Ctx.In.clear();
+  Ctx.In.push_back(std::move(Item));
+  NextIn = 0;
+  assert(R.inLinks(TaskIdx).empty() && "head task cannot have in-links");
+  return runFunctor(R.machine());
+}
+
+Action Worker::stepSend() {
+  const RuntimeCosts &C = R.Costs;
+  auto &Out = R.outLinks(TaskIdx);
+  // An opportunistic pre-idle pass must not trade one block for another;
+  // a finish-flush must drain and may block.
+  bool BestEffort = FlushResume.has_value() && !PendingFinish;
+  while (NextOut < Out.size()) {
+    auto &Buf = SendBufs[NextOut];
+    // Tokens at/beyond the end of the stream will never be claimed —
+    // consumers drain strictly below the bound. Ascending Seq makes the
+    // dead tokens a droppable suffix.
+    if (R.EndBound != NoSeq)
+      while (!Buf.empty() && Buf.back().Seq >= R.EndBound)
+        Buf.pop_back();
+    std::uint64_t FlushAt =
+        std::max<std::uint64_t>(1, Out[NextOut]->window() / 2);
+    bool Ripe = !Buf.empty() &&
+                (FlushAll || PendingFinish || Buf.size() >= FlushAt);
+    if (!Ripe) {
+      ++NextOut;
+      continue;
+    }
+    std::size_t Sent = Out[NextOut]->trySendBatch(Buf.data(), Buf.size());
+    if (Sent == 0) {
+      if (BestEffort) {
+        ++NextOut; // window full; leave the buffer for a later pass
+        continue;
+      }
+      return Action::block(Out[NextOut]->spaceAvail());
+    }
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<std::ptrdiff_t>(Sent));
+    // One batched transfer: fixed cost once, marginal cost per extra.
+    sim::SimTime Cost =
+        C.CommSend + static_cast<sim::SimTime>(Sent - 1) * C.CommPerToken;
+    R.Stats[TaskIdx].CommTime += Cost;
+    if (Buf.empty())
+      ++NextOut;
+    return Action::compute(Cost); // pay the transfer, continue the pass
+  }
+  FlushAll = false;
+  if (PendingFinish) {
+    TaskStatus S = *PendingFinish;
+    PendingFinish.reset();
+    FlushResume.reset();
+    return doFinish(S);
+  }
+  if (FlushResume) {
+    St = *FlushResume;
+    FlushResume.reset();
+    return Action::compute(0);
+  }
+  St = State::IterDone;
   return Action::compute(0);
 }
 
@@ -235,16 +389,24 @@ Action Worker::runFunctor(sim::Machine &M) {
   NextCrit = 0;
   CritHeld = false;
 
-  sim::SimTime Total = Ctx.Cost + C.HookCost + PendingCost;
-  PendingCost = 0;
-  if (IsHead)
-    Total += C.StatusQuery; // master's per-iteration get_status()
-  if (!C.OptimizedDataManagement) {
-    Total += C.TaskActivation; // yield to the task-activation loop
-    if (T.type() == TaskType::Seq)
-      Total += C.HeapSpill; // save/reload cross-iteration state
+  // Fixed Morta/Decima machinery costs are paid once per chunk, by its
+  // first iteration; at chunk size 1 every iteration is a chunk head and
+  // this degenerates to the classic per-iteration accounting.
+  sim::SimTime Overhead = 0;
+  if (ChunkHead) {
+    Overhead += C.HookCost;
+    if (IsHead)
+      Overhead += C.StatusQuery; // master's per-chunk get_status()
   }
+  if (!C.OptimizedDataManagement) {
+    Overhead += C.TaskActivation; // yield to the task-activation loop
+    if (T.type() == TaskType::Seq)
+      Overhead += C.HeapSpill; // save/reload cross-iteration state
+  }
+  sim::SimTime Total = Ctx.Cost + Overhead + PendingCost;
+  PendingCost = 0;
   R.Stats[TaskIdx].ComputeTime += Ctx.Cost;
+  R.Stats[TaskIdx].OverheadTime += Overhead;
   St = State::Compute;
   if (Ctx.Gang > 1)
     return Action::gangCompute(Ctx.Gang, Total);
@@ -252,6 +414,19 @@ Action Worker::runFunctor(sim::Machine &M) {
 }
 
 Action Worker::finishWith(TaskStatus S) {
+  if (anyBuffered()) {
+    // Flush batched tokens first: every buffered token below the bound
+    // has a consumer draining toward it.
+    PendingFinish = S;
+    FlushAll = true;
+    St = State::Send;
+    NextOut = 0;
+    return Action::compute(0);
+  }
+  return doFinish(S);
+}
+
+Action Worker::doFinish(TaskStatus S) {
   const RuntimeCosts &C = R.Costs;
   ExitStatus = S;
   St = State::Finish;

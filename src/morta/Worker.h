@@ -15,6 +15,15 @@
 /// the end of work, at which point the worker flushes, pays its FiniCB
 /// and barrier costs, and exits with task_paused or task_complete.
 ///
+/// Iterations are processed in chunks of K (core/Chunking.h): the head
+/// claims K items per source interaction, and all workers pay the Decima
+/// hook, get_status() poll, and per-channel transfer costs once per chunk
+/// instead of once per iteration. Output tokens are batched per out-link
+/// and flushed at chunk boundaries. K degrades to 1 around pause/drain,
+/// and a pausing head gives unstarted chunk items back to the source when
+/// they are the contiguous tail of the claim space — so reconfigure
+/// latency and the exactly-once guarantees match chunk-size-1 semantics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARCAE_MORTA_WORKER_H
@@ -26,6 +35,8 @@
 #include "sim/Machine.h"
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 namespace parcae::rt {
 
@@ -57,15 +68,21 @@ private:
     Backoff,     ///< transient fault: wait out the retry backoff
     Compute,     ///< charge the functor's compute cost
     Critical,    ///< acquire/run/release critical sections
-    Send,        ///< send one output token per out-link
+    Send,        ///< flush batched output tokens per out-link
     IterDone,    ///< bookkeeping, then loop to Fetch
     Finish,      ///< pay FiniCB/merge/barrier costs
     Exit         ///< leave the machine
   };
 
   sim::Action stepFetch();
+  sim::Action stepSend();
+  sim::Action beginIteration(Token Item);
   sim::Action runFunctor(sim::Machine &M);
+  /// Exits with status \p S, flushing buffered sends first if any.
   sim::Action finishWith(TaskStatus S);
+  /// The actual exit costs, once buffers are clean.
+  sim::Action doFinish(TaskStatus S);
+  bool anyBuffered() const;
 
   RegionExec &R;
   unsigned TaskIdx;
@@ -81,12 +98,32 @@ private:
 
   WorkerContext Ctx;
   std::size_t NextIn = 0;   ///< next in-link to receive from
-  std::size_t NextOut = 0;  ///< next out-link to send to
+  std::size_t NextOut = 0;  ///< next out-link to flush
   std::size_t NextCrit = 0; ///< next critical section to run
   bool CritHeld = false;
   bool UsedReduction = false; ///< privatized reduction state to merge
   sim::SimTime PendingCost = 0; ///< extra cost injected by reconfigurations
   TaskStatus ExitStatus = TaskStatus::Complete;
+
+  // --- Chunked claiming / batched communication ------------------------
+  std::vector<Token> Chunk;     ///< head: claimed items not yet started
+  std::size_t ChunkNext = 0;    ///< head: next unstarted index in Chunk
+  std::uint64_t ChunkStart = 0; ///< head: seq of Chunk[0]
+  /// Iterations left in the current chunk, including the one in flight.
+  std::uint64_t ChunkIters = 0;
+  /// Current iteration is its chunk's first: it pays the per-chunk fixed
+  /// costs (Decima hooks, status query, full per-transfer channel cost).
+  bool ChunkHead = true;
+  std::vector<std::vector<Token>> SendBufs; ///< per out-link, ascending Seq
+  bool FlushAll = false;       ///< this Send pass flushes every buffer
+  /// Set for a flush pass not tied to an iteration (emptying buffers
+  /// before blocking idle); Send returns to this state instead of
+  /// IterDone.
+  std::optional<State> FlushResume;
+  std::optional<TaskStatus> PendingFinish; ///< exit after buffers flush
+  /// One opportunistic pre-idle flush per blocking episode (prevents a
+  /// zero-cost Fetch/Send spin when the window is also full).
+  bool IdleFlushDone = false;
 
   /// The worker's simulated thread; RegionExec::abort() terminates it.
   sim::SimThread *Thread = nullptr;

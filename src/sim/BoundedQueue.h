@@ -37,23 +37,26 @@ public:
     assert(Capacity > 0 && "queue capacity must be positive");
   }
 
-  /// Appends \p Item if there is room; wakes blocked consumers. Rejects
-  /// the item once the queue is closed.
+  /// Appends \p Item if there is room; wakes one blocked consumer (a
+  /// single push can satisfy only a single pop, so waking the whole herd
+  /// would just have the rest re-check and re-block). Rejects the item
+  /// once the queue is closed.
   bool tryPush(T Item) {
     if (Shut || Items.size() >= Capacity)
       return false;
     Items.push_back(std::move(Item));
-    NotEmpty.notifyAll();
+    NotEmpty.notifyOne();
     return true;
   }
 
-  /// Pops the oldest item into \p Out; wakes blocked producers.
+  /// Pops the oldest item into \p Out; wakes one blocked producer (one
+  /// freed slot admits one push).
   bool tryPop(T &Out) {
     if (Items.empty())
       return false;
     Out = std::move(Items.front());
     Items.pop_front();
-    NotFull.notifyAll();
+    NotFull.notifyOne();
     return true;
   }
 

@@ -8,19 +8,30 @@ using namespace parcae::sim;
 
 ThreadBody::~ThreadBody() = default;
 
+bool Waitable::valid(const Waiter &W) {
+  return W.T->State == ThreadState::Blocked && W.T->BlockSeq == W.Seq;
+}
+
 void Waitable::notifyAll() {
-  std::vector<SimThread *> Woken;
+  std::vector<Waiter> Woken;
   Woken.swap(Waiters);
-  for (SimThread *T : Woken)
-    T->machine().wake(T);
+  for (const Waiter &W : Woken)
+    if (valid(W))
+      W.T->machine().wake(W.T);
 }
 
 void Waitable::notifyOne() {
-  if (Waiters.empty())
-    return;
-  SimThread *T = Waiters.front();
-  Waiters.erase(Waiters.begin());
-  T->machine().wake(T);
+  // Discard stale entries until a thread still blocked on this
+  // registration is found; wake only it. Entries from a satisfied
+  // blockAny would otherwise absorb the single notification.
+  while (!Waiters.empty()) {
+    Waiter W = Waiters.front();
+    Waiters.erase(Waiters.begin());
+    if (valid(W)) {
+      W.T->machine().wake(W.T);
+      return;
+    }
+  }
 }
 
 Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
@@ -188,10 +199,12 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
       assert(A.W && "block action requires a waitable");
       T->State = ThreadState::Blocked;
       // A thread may sit in several waiter lists; wake() is idempotent and
-      // stale entries are discarded when their waitable next notifies.
-      A.W->Waiters.push_back(T);
+      // entries from earlier block epochs are discarded when their
+      // waitable next notifies.
+      ++T->BlockSeq;
+      A.W->Waiters.push_back({T, T->BlockSeq});
       if (A.W2)
-        A.W2->Waiters.push_back(T);
+        A.W2->Waiters.push_back({T, T->BlockSeq});
       return; // core stays free; caller keeps assigning
     case Action::Kind::Finish:
       T->State = ThreadState::Finished;
@@ -260,7 +273,8 @@ bool Machine::tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles) {
   assert(Cycles > 0 && "gang computes must consume time");
   if (BusyCount + Gang > Cores.size()) {
     T->State = ThreadState::Blocked;
-    GangAvail.Waiters.push_back(T);
+    ++T->BlockSeq;
+    GangAvail.Waiters.push_back({T, T->BlockSeq});
     return false;
   }
   Reserved += Gang - 1;

@@ -44,21 +44,35 @@ class SimThread;
 /// A condition threads can block on. Wakeups are level-triggered from the
 /// thread's point of view: the woken body re-checks its condition and may
 /// block again.
+///
+/// Waiter entries carry the block epoch they were registered under
+/// (SimThread::BlockSeq), so an entry left behind by a blockAny that was
+/// satisfied through the *other* waitable is recognizably stale. That
+/// makes notifyOne() lost-wakeup-safe: it skips stale entries until it
+/// finds a thread that is still blocked on this registration, so a
+/// single-consumer notification is never swallowed by a ghost.
 class Waitable {
 public:
   Waitable() = default;
   Waitable(const Waitable &) = delete;
   Waitable &operator=(const Waitable &) = delete;
 
-  /// Wakes every waiting thread.
+  /// Wakes every validly waiting thread.
   void notifyAll();
-  /// Wakes the longest-waiting thread, if any.
+  /// Wakes the longest-waiting valid thread, if any. Use when at most one
+  /// waiter can make progress (e.g. one queue slot freed); waking the
+  /// whole herd only to have all but one re-block inflates event counts.
   void notifyOne();
   bool hasWaiters() const { return !Waiters.empty(); }
 
 private:
   friend class Machine;
-  std::vector<SimThread *> Waiters;
+  struct Waiter {
+    SimThread *T;
+    std::uint64_t Seq; ///< T->BlockSeq at registration time
+  };
+  static bool valid(const Waiter &W);
+  std::vector<Waiter> Waiters;
 };
 
 /// What a thread does next, as reported by ThreadBody::resume().
@@ -132,6 +146,9 @@ private:
   std::unique_ptr<ThreadBody> Body;
   Waitable ExitEvent;
   ThreadState State = ThreadState::Ready;
+  /// Incremented each time the thread blocks; waiter entries older than
+  /// the current value are stale (see Waitable).
+  std::uint64_t BlockSeq = 0;
   SimTime RemainingBurst = 0;
   SimTime BusyTime = 0;
   int CoreIdx = -1;

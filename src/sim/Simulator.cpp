@@ -2,34 +2,76 @@
 
 #include "sim/Simulator.h"
 
-#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace parcae::sim;
 
-void Simulator::scheduleAt(SimTime At, std::function<void()> Fn) {
-  assert(At >= Now && "cannot schedule an event in the past");
-  Queue.push(Event{At, NextSeq++, std::move(Fn)});
+void Simulator::reserve(std::size_t Events) {
+  Heap.reserve(Events);
+  Ring.reserve(Events);
+  std::size_t Chunks = (Events + ChunkMask) >> ChunkShift;
+  Pool.reserve(Chunks);
+  while (Pool.size() < Chunks)
+    Pool.push_back(std::make_unique<EventFn[]>(ChunkMask + 1));
 }
 
 bool Simulator::runOne() {
-  if (Queue.empty())
-    return false;
-  // priority_queue::top() is const; the handler is moved out via const_cast,
-  // which is safe because the element is popped immediately afterwards.
-  Event E = std::move(const_cast<Event &>(Queue.top()));
-  Queue.pop();
-  assert(E.At >= Now && "event queue went backwards");
-  if (E.At == Now) {
+  std::uint32_t Slot;
+  bool AtNow;
+  if (RingHead < Ring.size() &&
+      (Heap.empty() || Heap.front().At > Now ||
+       seqAfter(Heap.front().Seq, Ring[RingHead].Seq))) {
+    // Due-now ring front is the globally earliest (time, seq) event.
+    Slot = Ring[RingHead].Slot;
+    ++RingHead;
+    if (RingHead == Ring.size()) {
+      Ring.clear();
+      RingHead = 0;
+    }
+    AtNow = true;
+  } else {
+    if (Heap.empty())
+      return false;
+    std::pop_heap(Heap.begin(), Heap.end(), Later{});
+    Scheduled E = Heap.back();
+    Heap.pop_back();
+    assert(E.At >= Now && "event queue went backwards");
+    AtNow = E.At == Now;
+    Now = E.At;
+    Slot = E.Slot;
+  }
+  if (AtNow) {
     // Guard against model bugs that spin forever at one virtual instant.
-    assert(++SameTimeCount < 20000000 &&
-           "event livelock: unbounded events at a single timestamp");
+    // Always on: in release builds an assert would vanish and the run
+    // would hang without a diagnostic.
+    if (++SameTimeCount >= SameTimeLimit)
+      diagnoseLivelock();
   } else {
     SameTimeCount = 0;
   }
-  Now = E.At;
   ++EventsProcessed;
-  E.Fn();
+  // Invoked in place: chunk addresses are stable, so the handler may
+  // schedule (growing the slab or recycling other slots) while running.
+  // This slot is only recycled after the callback is destroyed.
+  EventFn &Fn = slot(Slot);
+  Fn();
+  Fn.reset();
+  freeSlot(Slot);
   return true;
+}
+
+void Simulator::diagnoseLivelock() const {
+  std::fprintf(stderr,
+               "parcae sim: event livelock: %" PRIu64
+               " consecutive events at t=%" PRIu64
+               " ns without the clock advancing (%" PRIu64
+               " events processed in total); a thread body or timer is "
+               "re-scheduling itself with zero delay\n",
+               SameTimeCount, static_cast<std::uint64_t>(Now),
+               EventsProcessed);
+  std::abort();
 }
 
 void Simulator::run() {
@@ -40,7 +82,9 @@ void Simulator::run() {
 
 void Simulator::runUntil(SimTime Deadline) {
   Stopped = false;
-  while (!Stopped && !Queue.empty() && Queue.top().At <= Deadline)
+  // Ring events are due at Now (<= Deadline by construction).
+  while (!Stopped && !empty() &&
+         (RingHead < Ring.size() || Heap.front().At <= Deadline))
     runOne();
   if (Now < Deadline)
     Now = Deadline;

@@ -10,16 +10,27 @@
 /// timers) is driven by events scheduled here. Events at the same virtual
 /// time fire in schedule order, so whole-system runs are deterministic.
 ///
+/// The core is allocation-free in steady state: callbacks are held in
+/// small-buffer EventFn cells inside a chunked slab whose addresses are
+/// stable (so a handler runs in place while scheduling more events), and
+/// the time-ordered queue is a binary heap of trivially copyable
+/// {time, seq, slot} entries over a reused vector. Whole-system runs
+/// execute millions of events, so this is the hottest host-side path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARCAE_SIM_SIMULATOR_H
 #define PARCAE_SIM_SIMULATOR_H
 
+#include "sim/EventFn.h"
 #include "sim/Time.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace parcae::sim {
@@ -30,13 +41,32 @@ public:
   /// Current virtual time.
   SimTime now() const { return Now; }
 
-  /// Schedules \p Fn to run \p Delay after the current time.
-  void schedule(SimTime Delay, std::function<void()> Fn) {
-    scheduleAt(Now + Delay, std::move(Fn));
+  /// Schedules \p Fn to run \p Delay after the current time. The callable
+  /// is constructed directly in its slab slot — no intermediate EventFn
+  /// relocation on the hot path.
+  template <typename F> void schedule(SimTime Delay, F &&Fn) {
+    scheduleAt(Now + Delay, std::forward<F>(Fn));
   }
 
   /// Schedules \p Fn at absolute time \p At (>= now()).
-  void scheduleAt(SimTime At, std::function<void()> Fn);
+  template <typename F> void scheduleAt(SimTime At, F &&Fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<F> &>,
+                  "event callback must be callable as void()");
+    assert(At >= Now && "cannot schedule an event in the past");
+    std::uint32_t S = grabSlot();
+    slot(S).assign(std::forward<F>(Fn));
+    if (At == Now) {
+      // Due-now fast path: wakeups, wheel kicks, and overlapped resumes
+      // fire at the current instant; they go through a FIFO ring instead
+      // of the heap. FIFO equals (time, seq) order here because every
+      // ring entry has At == Now, and the clock cannot advance while the
+      // ring is non-empty (runOne drains due-now work first).
+      Ring.push_back(DueNow{NextSeq++, S});
+      return;
+    }
+    Heap.push_back(Scheduled{At, NextSeq++, S});
+    std::push_heap(Heap.begin(), Heap.end(), Later{});
+  }
 
   /// Runs the next event, if any. Returns false when the queue is empty.
   bool runOne();
@@ -54,28 +84,92 @@ public:
   /// Total number of events executed (sanity metric for tests).
   std::uint64_t eventsProcessed() const { return EventsProcessed; }
 
-  bool empty() const { return Queue.empty(); }
+  bool empty() const { return Heap.empty() && RingHead == Ring.size(); }
+
+  /// Pre-sizes the heap and callback slab (steady state then never
+  /// allocates as long as at most \p Events are outstanding at once).
+  void reserve(std::size_t Events);
+
+  /// Livelock guard: aborting after this many consecutive events at one
+  /// virtual instant. Unlike the seed's assert, this check is always on —
+  /// a model bug that spins at a single timestamp would otherwise hang
+  /// release builds silently. Tests lower it to exercise the diagnostic.
+  void setSameTimeLimit(std::uint64_t Limit) { SameTimeLimit = Limit; }
+  std::uint64_t sameTimeLimit() const { return SameTimeLimit; }
 
 private:
-  struct Event {
+  /// Heap entry: trivially copyable, 16 bytes, so sift operations are
+  /// plain moves with no callback relocation. Seq is a wrapping 32-bit
+  /// schedule counter: it only breaks ties between events at the same
+  /// virtual instant, and two same-instant events coexisting in the
+  /// queue are always far fewer than 2^31 schedules apart, so the
+  /// wrap-safe signed-difference compare below orders them correctly.
+  struct Scheduled {
     SimTime At;
-    std::uint64_t Seq;
-    std::function<void()> Fn;
+    std::uint32_t Seq;
+    std::uint32_t Slot;
   };
-  struct EventLater {
-    bool operator()(const Event &A, const Event &B) const {
+  /// Ring entry for events due at the current instant (At implied = Now).
+  struct DueNow {
+    std::uint32_t Seq;
+    std::uint32_t Slot;
+  };
+  /// True when A was scheduled after B (wrap-safe; see Scheduled::Seq).
+  static bool seqAfter(std::uint32_t A, std::uint32_t B) {
+    return static_cast<std::int32_t>(A - B) > 0;
+  }
+  /// Earliest time first; FIFO within a timestamp. A functor (not a
+  /// function pointer) so the heap sift loops inline the comparison.
+  struct Later {
+    bool operator()(const Scheduled &A, const Scheduled &B) const {
       if (A.At != B.At)
         return A.At > B.At;
-      return A.Seq > B.Seq;
+      return seqAfter(A.Seq, B.Seq);
     }
   };
 
+  // Callback slab: fixed-size chunks, so slot addresses stay stable while
+  // the slab grows — a running handler may schedule (and thus grow the
+  // slab) without relocating itself. Freed slots recycle via FreeSlots.
+  static constexpr std::size_t ChunkShift = 8; // 256 events per chunk
+  static constexpr std::size_t ChunkMask = (std::size_t{1} << ChunkShift) - 1;
+  EventFn &slot(std::uint32_t S) {
+    return Pool[S >> ChunkShift][S & ChunkMask];
+  }
+  static constexpr std::uint32_t NoSlot = ~std::uint32_t{0};
+  std::uint32_t grabSlot() {
+    if (FreeHead != NoSlot) {
+      std::uint32_t S = FreeHead;
+      FreeHead = slot(S).scratch();
+      return S;
+    }
+    if ((PoolSize >> ChunkShift) == Pool.size())
+      Pool.push_back(std::make_unique<EventFn[]>(ChunkMask + 1));
+    return static_cast<std::uint32_t>(PoolSize++);
+  }
+  /// Returns an (empty) slot to the free list, threaded through the dead
+  /// callback's storage.
+  void freeSlot(std::uint32_t S) {
+    slot(S).scratch() = FreeHead;
+    FreeHead = S;
+  }
+
+  [[noreturn]] void diagnoseLivelock() const;
+
   SimTime Now = 0;
   std::uint64_t SameTimeCount = 0;
-  std::uint64_t NextSeq = 0;
+  std::uint64_t SameTimeLimit = 20'000'000;
+  std::uint32_t NextSeq = 0;
   std::uint64_t EventsProcessed = 0;
   bool Stopped = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> Queue;
+  std::vector<Scheduled> Heap;
+  /// FIFO of events due at the current instant; drained before the clock
+  /// may advance (interleaved with equal-time heap events by Seq).
+  std::vector<DueNow> Ring;
+  std::size_t RingHead = 0;
+  std::vector<std::unique_ptr<EventFn[]>> Pool;
+  std::size_t PoolSize = 0;
+  std::uint32_t FreeHead = NoSlot;
 };
 
 } // namespace parcae::sim

@@ -1,6 +1,7 @@
 //===- SimTest.cpp - Unit tests for the discrete-event simulator -----------===//
 
 #include "sim/BoundedQueue.h"
+#include "sim/EventFn.h"
 #include "sim/Faults.h"
 #include "sim/Machine.h"
 #include "sim/Power.h"
@@ -8,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -94,6 +97,170 @@ TEST(Simulator, TiesFireInScheduleOrder) {
     Sim.schedule(100, [&, I] { Order.push_back(I); });
   Sim.run();
   EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ZeroDelayInterleavesWithEqualTimeInScheduleOrder) {
+  // Zero-delay events take the due-now ring, equal-time future events
+  // the heap; the two must still fire in global schedule order.
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.schedule(10, [&] {
+    Order.push_back(0);
+    // Scheduled AFTER the pre-queued t=10 event below, so these fire
+    // after it despite taking the ring fast path.
+    Sim.schedule(0, [&] { Order.push_back(2); }); // ring
+    Sim.schedule(0, [&] {
+      Order.push_back(3);
+      Sim.schedule(0, [&] { Order.push_back(4); }); // nested ring
+    });
+  });
+  Sim.schedule(10, [&] { Order.push_back(1); }); // heap, same instant
+  Sim.schedule(20, [&] { Order.push_back(5); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(Sim.now(), 20u);
+}
+
+TEST(Simulator, ManyRecycledEventsKeepOrder) {
+  // Chains of self-rescheduling timers churn the slab free list; slot
+  // recycling must never perturb (time, seq) order.
+  Simulator Sim;
+  std::uint64_t Fired = 0;
+  SimTime LastAt = 0;
+  std::array<int, 16> Left{};
+  Left.fill(100);
+  std::vector<std::function<void()>> Ticks(16); // sized once: stable refs
+  for (int I = 0; I < 16; ++I)
+    Ticks[static_cast<std::size_t>(I)] = [&, I] {
+      ++Fired;
+      EXPECT_GE(Sim.now(), LastAt);
+      LastAt = Sim.now();
+      if (--Left[static_cast<std::size_t>(I)] > 0)
+        Sim.schedule(1 + static_cast<SimTime>(I % 7),
+                     Ticks[static_cast<std::size_t>(I)]);
+    };
+  for (int I = 0; I < 16; ++I)
+    Sim.schedule(1, Ticks[static_cast<std::size_t>(I)]);
+  Sim.run();
+  EXPECT_EQ(Fired, 16u * 100u);
+}
+
+TEST(Simulator, LivelockGuardAbortsWithDiagnostic) {
+  // A model bug that re-schedules itself with zero delay forever must
+  // abort with a diagnostic instead of hanging — in release builds too,
+  // which is why this is a real check rather than an assert.
+  EXPECT_EQ(Simulator{}.sameTimeLimit(), 20'000'000u);
+  EXPECT_DEATH(
+      {
+        Simulator Sim;
+        Sim.setSameTimeLimit(1000);
+        std::function<void()> Spin = [&] { Sim.schedule(0, Spin); };
+        Sim.schedule(0, Spin);
+        Sim.run();
+      },
+      "livelock");
+}
+
+TEST(Simulator, SameTimeCountResetsWhenClockAdvances) {
+  // A long run whose events keep moving the clock must never trip the
+  // guard, even with a limit far below the event count.
+  Simulator Sim;
+  Sim.setSameTimeLimit(10);
+  std::uint64_t Fired = 0;
+  std::function<void()> Tick = [&] {
+    if (++Fired < 1000)
+      Sim.schedule(1, Tick);
+  };
+  Sim.schedule(1, Tick);
+  Sim.run();
+  EXPECT_EQ(Fired, 1000u);
+}
+
+TEST(EventFn, InlineCallableRunsAndResets) {
+  int Hits = 0;
+  EventFn F([&Hits] { ++Hits; });
+  ASSERT_TRUE(static_cast<bool>(F));
+  F();
+  EXPECT_EQ(Hits, 1);
+  F.reset();
+  EXPECT_FALSE(static_cast<bool>(F));
+}
+
+TEST(EventFn, NonTrivialDestructorRunsOnReset) {
+  int Dtors = 0;
+  struct Probe {
+    int *Dtors;
+    explicit Probe(int *D) : Dtors(D) {}
+    Probe(Probe &&O) noexcept : Dtors(O.Dtors) { O.Dtors = nullptr; }
+    ~Probe() {
+      if (Dtors)
+        ++*Dtors;
+    }
+    void operator()() const {}
+  };
+  {
+    EventFn F{Probe(&Dtors)};
+    EXPECT_EQ(Dtors, 0);
+    F.reset();
+    EXPECT_EQ(Dtors, 1);
+    F.reset(); // idempotent on empty
+    EXPECT_EQ(Dtors, 1);
+  }
+  EXPECT_EQ(Dtors, 1);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int Hits = 0;
+  EventFn A([&Hits] { ++Hits; });
+  EventFn B(std::move(A));
+  EXPECT_FALSE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  B();
+  EXPECT_EQ(Hits, 1);
+  EventFn C;
+  C = std::move(B);
+  C();
+  EXPECT_EQ(Hits, 2);
+}
+
+TEST(EventFn, AssignReplacesInPlace) {
+  int First = 0, Second = 0;
+  EventFn F([&First] { ++First; });
+  F.assign([&Second] { ++Second; });
+  F();
+  EXPECT_EQ(First, 0);
+  EXPECT_EQ(Second, 1);
+  // Assigning an EventFn itself is a plain move.
+  EventFn G([&First] { ++First; });
+  F.assign(std::move(G));
+  F();
+  EXPECT_EQ(First, 1);
+  EXPECT_EQ(Second, 1);
+}
+
+TEST(EventFn, LargeCaptureFallsBackToHeapCell) {
+  // Captures beyond InlineSize still work (one heap cell), with correct
+  // destruction — the shared_ptr use count proves the copy dies.
+  auto Guard = std::make_shared<int>(7);
+  std::array<std::uint64_t, 16> Big{};
+  Big[0] = 42;
+  std::uint64_t Seen = 0;
+  static_assert(sizeof(Big) > EventFn::InlineSize);
+  {
+    EventFn F([Guard, Big, &Seen] { Seen = Big[0]; });
+    EXPECT_EQ(Guard.use_count(), 2);
+    F();
+    EXPECT_EQ(Seen, 42u);
+  }
+  EXPECT_EQ(Guard.use_count(), 1);
+}
+
+TEST(EventFn, ScratchWordRoundTripsOnEmpty) {
+  // The simulator's slab threads its free list through dead slots.
+  EventFn F;
+  F.scratch() = 0xDEADBEEFu;
+  EXPECT_EQ(F.scratch(), 0xDEADBEEFu);
+  EXPECT_FALSE(static_cast<bool>(F));
 }
 
 TEST(Simulator, NestedScheduling) {
