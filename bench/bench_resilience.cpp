@@ -1,8 +1,10 @@
 //===- bench_resilience.cpp - Fault model + Morta recovery end to end ---------===//
 //
-// The resilience scenario the fault model exists for: a 3-stage pipeline
-// on an 8-core machine that, mid-run, suffers all three failure classes
-// of the fault plan —
+// The resilience scenarios the fault model exists for: a 3-stage pipeline
+// on an 8-core machine that, mid-run, degrades and (in the burst
+// scenario) heals again.
+//
+// Default scenario — independent permanent failures:
 //
 //   * a straggler: core 1 runs 4x dilated for 15 ms starting at 20 ms;
 //   * permanent core failures: cores 5 and 6 go offline at 40/42 ms,
@@ -10,14 +12,24 @@
 //   * transient task faults: ~40 iterations of the parallel stage fault
 //     (up to twice each) before succeeding, exercising the retry path.
 //
+// Burst scenario (--burst) — a correlated failure domain plus repair:
+//
+//   * the same straggler and transient faults;
+//   * a socket event ("socket1") takes cores 4, 5, and 6 atomically at
+//     40 ms, and the domain is repaired after a 30 ms downtime window.
+//
 // The watchdog detects the capacity drop, rescues the stranded threads,
-// shrinks the controller's thread budget (degrading the DoP), and the
-// run completes with the full output stream intact and in order — the
-// exactly-once guarantee across stragglers, retries, and recoveries.
+// and shrinks the controller's thread budget (degrading the DoP); in the
+// burst scenario it then detects the capacity growth at repair and grows
+// the budget back, re-selecting the richer cached configuration. Either
+// way the run completes with the full output stream intact and in order
+// — the exactly-once guarantee across stragglers, retries, recoveries,
+// and repair.
 //
 // Everything is seeded and virtual-time-driven, so the same --seed gives
 // a byte-identical stdout and Chrome trace across runs (this is what
-// scripts/check_resilience.sh asserts).
+// scripts/check_resilience.sh asserts, including a multi-seed sweep of
+// the burst scenario).
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +42,7 @@
 #include "telemetry/ChromeTrace.h"
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -40,6 +53,8 @@ namespace sim = parcae::sim;
 namespace {
 
 constexpr std::uint64_t NumIters = 20000;
+constexpr sim::SimTime BurstAt = 40 * sim::MSec + 130 * sim::USec;
+constexpr sim::SimTime BurstDowntime = 30 * sim::MSec;
 
 /// The pipeline under test. The tail pushes every iteration's payload
 /// into \p Tail, so output completeness and ordering are checkable. The
@@ -81,14 +96,21 @@ FlexibleRegion makeRegion(std::vector<std::int64_t> *Tail) {
   return R;
 }
 
-sim::FaultPlan makePlan(std::uint64_t Seed) {
+sim::FaultPlan makePlan(std::uint64_t Seed, bool Burst) {
   sim::FaultPlan Plan;
   Plan.addStraggler(/*Core=*/1, /*At=*/20 * sim::MSec,
                     /*Duration=*/15 * sim::MSec, /*Dilation=*/4.0);
-  // Offset from the watchdog's 250 us tick grid so the measured
-  // detection latency is the real phase lag, not zero.
-  Plan.addOffline(/*Core=*/5, /*At=*/40 * sim::MSec + 130 * sim::USec);
-  Plan.addOffline(/*Core=*/6, /*At=*/42 * sim::MSec + 130 * sim::USec);
+  if (Burst) {
+    // A correlated burst: one socket event takes three cores atomically
+    // (offset from the watchdog's 250 us tick grid, like the offlines
+    // below), then a repair returns them after the downtime window.
+    Plan.addDomain("socket1", {4, 5, 6}, BurstAt, BurstDowntime);
+  } else {
+    // Offset from the watchdog's 250 us tick grid so the measured
+    // detection latency is the real phase lag, not zero.
+    Plan.addOffline(/*Core=*/5, /*At=*/40 * sim::MSec + 130 * sim::USec);
+    Plan.addOffline(/*Core=*/6, /*At=*/42 * sim::MSec + 130 * sim::USec);
+  }
   Plan.scatterTransients(Seed, "work", /*SeqBegin=*/2000, /*SeqEnd=*/18000,
                          /*Count=*/40, /*MaxFailCount=*/2);
   return Plan;
@@ -102,18 +124,28 @@ int main(int Argc, char **Argv) {
   telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
   setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
   std::uint64_t Seed = defaultSeed();
+  bool Burst = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--burst") == 0)
+      Burst = true;
 
-  std::printf("== Resilience: 8-core pipeline under straggler + 2 core"
-              " failures + transient faults (seed=%llu) ==\n",
-              static_cast<unsigned long long>(Seed));
+  if (Burst)
+    std::printf("== Resilience: 8-core pipeline under straggler + 3-core"
+                " domain burst + repair + transient faults (seed=%llu) ==\n",
+                static_cast<unsigned long long>(Seed));
+  else
+    std::printf("== Resilience: 8-core pipeline under straggler + 2 core"
+                " failures + transient faults (seed=%llu) ==\n",
+                static_cast<unsigned long long>(Seed));
 
   sim::Simulator Sim;
   sim::Machine M(Sim, 8);
-  M.installFaultPlan(makePlan(Seed));
+  M.installFaultPlan(makePlan(Seed, Burst));
   std::printf("   fault plan: %zu straggler window(s), %zu core"
-              " offline(s), %zu transient fault(s)\n\n",
+              " offline(s), %zu domain(s), %zu transient fault(s)\n\n",
               M.faultPlan()->stragglers().size(),
-              M.faultPlan()->offlines().size(),
+              M.faultPlan()->numOfflineEvents(),
+              M.faultPlan()->domains().size(),
               M.faultPlan()->numTransients());
 
   std::vector<std::int64_t> Tail;
@@ -126,7 +158,8 @@ int main(int Argc, char **Argv) {
 
   Decima Sensors;
   registerFaultFeatures(Sensors, M);
-  FeatureSampler Sampler(Sim, Sensors, {"OnlineCores", "StrandedThreads"});
+  FeatureSampler Sampler(Sim, Sensors,
+                         {"OnlineCores", "StrandedThreads", "RepairedCores"});
 
   sim::SimTime DoneAt = 0;
   Runner.OnComplete = [&] {
@@ -138,19 +171,31 @@ int main(int Argc, char **Argv) {
   Dog.start();
   Sampler.start();
 
+  // Budget timeline: every change of the controller's effective thread
+  // budget, sampled on the watchdog's own grid. The burst scenario
+  // asserts a shrink at the domain event and a grow-back after repair.
+  std::vector<unsigned> BudgetSteps{Ctrl.threadBudget()};
+  std::function<void()> BudgetTick = [&] {
+    if (Ctrl.threadBudget() != BudgetSteps.back())
+      BudgetSteps.push_back(Ctrl.threadBudget());
+    if (!Runner.completed())
+      Sim.schedule(250 * sim::USec, BudgetTick);
+  };
+  Sim.schedule(250 * sim::USec, BudgetTick);
+
   // Progress timeline: windowed throughput + machine capacity every 5 ms.
   std::printf("-- timeline (5 ms windows) --\n");
-  std::printf("%8s %10s %12s %7s %9s\n", "t(ms)", "retired", "win it/s",
-              "online", "stranded");
+  std::printf("%8s %10s %12s %7s %9s %7s\n", "t(ms)", "retired", "win it/s",
+              "online", "stranded", "budget");
   std::uint64_t LastRetired = 0;
   std::function<void()> TimelineTick = [&] {
     std::uint64_t Retired = Runner.totalRetired();
     double Rate = static_cast<double>(Retired - LastRetired) /
                   sim::toSeconds(5 * sim::MSec);
     LastRetired = Retired;
-    std::printf("%8.1f %10llu %12.0f %7u %9u\n", us(Sim.now()) / 1000.0,
+    std::printf("%8.1f %10llu %12.0f %7u %9u %7u\n", us(Sim.now()) / 1000.0,
                 static_cast<unsigned long long>(Retired), Rate,
-                M.onlineCores(), M.strandedThreads());
+                M.onlineCores(), M.strandedThreads(), Ctrl.threadBudget());
     if (!Runner.completed())
       Sim.schedule(5 * sim::MSec, TimelineTick);
   };
@@ -165,6 +210,10 @@ int main(int Argc, char **Argv) {
     Ok = false;
   };
 
+  unsigned Shrinks = 0, Grows = 0;
+  for (std::size_t I = 1; I < BudgetSteps.size(); ++I)
+    (BudgetSteps[I] < BudgetSteps[I - 1] ? Shrinks : Grows)++;
+
   std::printf("\n-- verdict --\n");
   if (!Runner.completed())
     Fail("region did not complete");
@@ -177,27 +226,50 @@ int main(int Argc, char **Argv) {
                   static_cast<long long>(Tail[I]));
       break;
     }
-  if (M.onlineCores() != 6)
-    Fail("expected exactly 6 surviving cores");
   if (Dog.detections() < 1)
     Fail("watchdog never detected the capacity drop");
   if (Runner.totalFaults() == 0)
     Fail("no transient fault was ever injected");
   if (Dog.recoveriesCompleted() < 1)
     Fail("no recovery completed (MTTR never measured)");
+  if (Burst) {
+    if (M.onlineCores() != 8)
+      Fail("expected all 8 cores back online after repair");
+    if (M.repairsApplied() != 3)
+      Fail("expected exactly 3 repaired cores");
+    if (Dog.growthsDetected() < 1)
+      Fail("watchdog never detected the capacity growth");
+    if (Shrinks < 1)
+      Fail("thread budget never shrank on the domain burst");
+    if (Grows < 1)
+      Fail("thread budget never grew back after repair");
+    if (Ctrl.threadBudget() != 8)
+      Fail("thread budget did not return to the full grant");
+    if (DoneAt <= BurstAt + BurstDowntime)
+      Fail("run finished before the repair: grow-back path unexercised");
+  } else {
+    if (M.onlineCores() != 6)
+      Fail("expected exactly 6 surviving cores");
+  }
 
   std::printf("   completed at %.2f ms; %llu/%llu iterations retired\n",
               us(DoneAt) / 1000.0,
               static_cast<unsigned long long>(Runner.totalRetired()),
               static_cast<unsigned long long>(NumIters));
-  std::printf("   capacity: %u/8 cores online, %u thread(s) rescued\n",
-              M.onlineCores(), Dog.threadsRescued());
-  std::printf("   watchdog: %u detection(s), %u stall(s), %u"
+  std::printf("   capacity: %u/8 cores online, %u repaired, %u thread(s)"
+              " rescued\n",
+              M.onlineCores(), M.repairsApplied(), Dog.threadsRescued());
+  std::printf("   budget:");
+  for (std::size_t I = 0; I < BudgetSteps.size(); ++I)
+    std::printf("%s%u", I == 0 ? " " : " -> ", BudgetSteps[I]);
+  std::printf(" (%u shrink(s), %u grow(s))\n", Shrinks, Grows);
+  std::printf("   watchdog: %u detection(s), %u growth(s), %u stall(s), %u"
               " escalation(s), %u recovery(s) completed\n",
-              Dog.detections(), Dog.stallsDetected(),
+              Dog.detections(), Dog.growthsDetected(), Dog.stallsDetected(),
               Dog.escalationsHandled(), Dog.recoveriesCompleted());
-  std::printf("   latency: detection %.0f us, MTTR %.0f us\n",
-              us(Dog.lastDetectionLatency()), us(Dog.lastMttr()));
+  std::printf("   latency: detection %.0f us, growth %.0f us, MTTR %.0f us\n",
+              us(Dog.lastDetectionLatency()), us(Dog.lastGrowthLatency()),
+              us(Dog.lastMttr()));
   std::printf("   faults: %llu transient attempt(s) faulted, %llu"
               " escalation(s)\n",
               static_cast<unsigned long long>(Runner.totalFaults()),

@@ -2,7 +2,7 @@
 # check_resilience.sh — end-to-end validation of the fault model and
 # Morta's failure recovery.
 #
-# Runs bench_resilience twice with a fixed seed and asserts:
+# legacy mode: runs bench_resilience twice with a fixed seed and asserts:
 #   * the run recovers (RESILIENCE: OK — complete, ordered output after
 #     two core failures, a straggler window, and transient task faults);
 #   * determinism — the two runs' stdout and Chrome traces are
@@ -10,12 +10,22 @@
 #   * the trace shows the recovery story: fault injection, watchdog
 #     detection, and the pause/reconfigure/resume of the degraded run.
 #
-# Usage: check_resilience.sh <path-to-bench_resilience> [workdir]
+# burst mode: sweeps the correlated-domain + repair scenario (--burst)
+# over three seeds, running each seed twice, and asserts:
+#   * recovery plus byte-identical reruns per seed;
+#   * the thread budget both shrank (on the domain event) and grew back
+#     (after repair) — non-zero transitions in both directions;
+#   * the trace shows the burst/repair story: the domain fault, the
+#     repair, and the watchdog's growth detection + budget grow-back.
+#
+# Usage: check_resilience.sh <path-to-bench_resilience> [workdir] [mode]
+#   mode: legacy | burst | all (default all)
 
 set -eu
 
-BENCH=${1:?usage: check_resilience.sh <bench_resilience> [workdir]}
+BENCH=${1:?usage: check_resilience.sh <bench_resilience> [workdir] [mode]}
 WORKDIR=${2:-$(mktemp -d)}
+MODE=${3:-all}
 mkdir -p "$WORKDIR"
 SEED=42
 
@@ -24,44 +34,86 @@ fail() {
   exit 1
 }
 
+# run <tag> <seed> [extra flags...]
 run() {
-  "$BENCH" --seed $SEED --trace "$WORKDIR/resil.$1.trace.json" \
-    >"$WORKDIR/resil.$1.out" 2>&1 ||
-    fail "run $1 exited non-zero (see $WORKDIR/resil.$1.out)"
+  TAG=$1
+  RUNSEED=$2
+  shift 2
+  "$BENCH" --seed "$RUNSEED" "$@" \
+    --trace "$WORKDIR/resil.$TAG.trace.json" \
+    >"$WORKDIR/resil.$TAG.out" 2>&1 ||
+    fail "run $TAG exited non-zero (see $WORKDIR/resil.$TAG.out)"
 }
-
-run 1
-run 2
-
-grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.1.out" ||
-  fail "run did not recover (no RESILIENCE: OK)"
 
 # Same seed, same virtual-time world: everything must be byte-identical.
 # (The [telemetry] banner embeds the per-run trace path, so drop it.)
-grep -v '^\[telemetry\]' "$WORKDIR/resil.1.out" >"$WORKDIR/resil.1.flt"
-grep -v '^\[telemetry\]' "$WORKDIR/resil.2.out" >"$WORKDIR/resil.2.flt"
-cmp -s "$WORKDIR/resil.1.flt" "$WORKDIR/resil.2.flt" ||
-  fail "stdout differs between identically seeded runs"
-cmp -s "$WORKDIR/resil.1.trace.json" "$WORKDIR/resil.2.trace.json" ||
-  fail "trace differs between identically seeded runs"
+assert_identical() {
+  grep -v '^\[telemetry\]' "$WORKDIR/resil.$1.out" >"$WORKDIR/resil.$1.flt"
+  grep -v '^\[telemetry\]' "$WORKDIR/resil.$2.out" >"$WORKDIR/resil.$2.flt"
+  cmp -s "$WORKDIR/resil.$1.flt" "$WORKDIR/resil.$2.flt" ||
+    fail "stdout differs between identically seeded runs ($1 vs $2)"
+  cmp -s "$WORKDIR/resil.$1.trace.json" "$WORKDIR/resil.$2.trace.json" ||
+    fail "trace differs between identically seeded runs ($1 vs $2)"
+}
 
-TRACE="$WORKDIR/resil.1.trace.json"
-[ -s "$TRACE" ] || fail "trace file missing or empty: $TRACE"
+if [ "$MODE" = legacy ] || [ "$MODE" = all ]; then
+  run 1 $SEED
+  run 2 $SEED
 
-# The recovery story, in trace landmarks: a core fails, the watchdog
-# notices and shrinks capacity, and execution resumes reconfigured.
-grep -q '"fault_offline"' "$TRACE" || fail "no core-offline instant in trace"
-grep -q '"watchdog_detect"' "$TRACE" || fail "no watchdog detection in trace"
-grep -q '"capacity_drop"' "$TRACE" || fail "no capacity-drop instant in trace"
-grep -Eq '"transition"|"recover"' "$TRACE" ||
-  fail "no pause/reconfigure/resume span in trace"
-grep -q '"task_fault"' "$TRACE" || fail "no transient task fault in trace"
+  grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.1.out" ||
+    fail "run did not recover (no RESILIENCE: OK)"
+  assert_identical 1 2
 
-# Fault metrics (retries, detections, MTTR) land in the metrics dump.
-METRICS="$TRACE.metrics.txt"
-[ -s "$METRICS" ] || fail "metrics dump missing: $METRICS"
-grep -q 'watchdog\.detections' "$METRICS" || fail "no detection counter"
-grep -q 'watchdog\.mttr_us' "$METRICS" || fail "no MTTR histogram"
-grep -q '\.faults' "$METRICS" || fail "no fault counter"
+  TRACE="$WORKDIR/resil.1.trace.json"
+  [ -s "$TRACE" ] || fail "trace file missing or empty: $TRACE"
 
-echo "check_resilience.sh: OK ($TRACE)"
+  # The recovery story, in trace landmarks: a core fails, the watchdog
+  # notices and shrinks capacity, and execution resumes reconfigured.
+  grep -q '"fault_offline"' "$TRACE" || fail "no core-offline instant in trace"
+  grep -q '"watchdog_detect"' "$TRACE" || fail "no watchdog detection in trace"
+  grep -q '"capacity_drop"' "$TRACE" || fail "no capacity-drop instant in trace"
+  grep -Eq '"transition"|"recover"' "$TRACE" ||
+    fail "no pause/reconfigure/resume span in trace"
+  grep -q '"task_fault"' "$TRACE" || fail "no transient task fault in trace"
+
+  # Fault metrics (retries, detections, MTTR) land in the metrics dump.
+  METRICS="$TRACE.metrics.txt"
+  [ -s "$METRICS" ] || fail "metrics dump missing: $METRICS"
+  grep -q 'watchdog\.detections' "$METRICS" || fail "no detection counter"
+  grep -q 'watchdog\.mttr_us' "$METRICS" || fail "no MTTR histogram"
+  grep -q '\.faults' "$METRICS" || fail "no fault counter"
+fi
+
+if [ "$MODE" = burst ] || [ "$MODE" = all ]; then
+  # Seed sweep over the correlated burst + repair scenario: each seed must
+  # recover, rerun byte-identically, and show the budget shrinking on the
+  # domain event and growing back after the repair.
+  for S in 7 21 42; do
+    run "burst.$S.1" "$S" --burst
+    run "burst.$S.2" "$S" --burst
+    grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.burst.$S.1.out" ||
+      fail "burst seed $S did not recover (no RESILIENCE: OK)"
+    assert_identical "burst.$S.1" "burst.$S.2"
+    # Non-zero budget transitions in both directions (shrink then grow).
+    grep -Eq '^   budget: .* \([1-9][0-9]* shrink\(s\), [1-9][0-9]* grow\(s\)\)$' \
+      "$WORKDIR/resil.burst.$S.1.out" ||
+      fail "burst seed $S: budget did not both shrink and grow back"
+  done
+
+  BTRACE="$WORKDIR/resil.burst.42.1.trace.json"
+  [ -s "$BTRACE" ] || fail "burst trace file missing or empty: $BTRACE"
+  # The burst/repair story, in trace landmarks: the domain takes its
+  # cores, the watchdog detects the drop, repair returns them, and the
+  # watchdog grows the budget back.
+  grep -q '"fault_domain"' "$BTRACE" || fail "no domain-burst instant in trace"
+  grep -q '"fault_offline"' "$BTRACE" || fail "no core-offline instant in trace"
+  grep -q '"repair_online"' "$BTRACE" || fail "no repair instant in trace"
+  grep -q '"watchdog_grow"' "$BTRACE" || fail "no watchdog growth detection"
+  grep -q '"capacity_grow"' "$BTRACE" || fail "no capacity-grow instant in trace"
+  BMETRICS="$BTRACE.metrics.txt"
+  [ -s "$BMETRICS" ] || fail "burst metrics dump missing: $BMETRICS"
+  grep -q 'machine\.repairs' "$BMETRICS" || fail "no repair counter"
+  grep -q 'watchdog\.growths' "$BMETRICS" || fail "no growth counter"
+fi
+
+echo "check_resilience.sh: OK ($MODE, $WORKDIR)"

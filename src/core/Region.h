@@ -48,6 +48,7 @@ struct RegionDesc {
   void verify() const {
     assert(!Tasks.empty() && "region needs at least one task");
     for (const LinkDesc &L : Links) {
+      (void)L; // asserts compile out in the release-flavor tests
       assert(L.From < Tasks.size() && L.To < Tasks.size() &&
              "link endpoint out of range");
       assert(L.From < L.To && "links must go forward in the pipeline");

@@ -122,9 +122,13 @@ public:
   void extend(std::uint64_t More) { N += More; }
 
   /// Counted pulls carry no payload, so rewinding is just moving the
-  /// cursor back.
+  /// cursor back. A rewind deeper than the pull history is refused
+  /// instead of asserted: in release builds the assert would vanish and
+  /// Next would wrap; returning false lets recovery fall back to a drain
+  /// (the same hardening as QueueWorkSource::push).
   bool rewind(std::uint64_t Count) override {
-    assert(Next >= Count && "rewinding past the start");
+    if (Count > Next)
+      return false;
     Next -= Count;
     if (Count > 0)
       Ready.notifyAll();

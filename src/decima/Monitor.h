@@ -108,14 +108,19 @@ private:
 };
 
 /// Registers the fault-model platform features against \p M:
-/// "OnlineCores" (cores that survived), "StrandedThreads" (threads held
-/// hostage by failed cores). Mechanisms and the resilience bench sample
-/// these like any other platform sensor.
+/// "OnlineCores" (cores currently operational — drops on failures and
+/// grows back on repairs, so its sampled series is the full capacity
+/// timeline), "StrandedThreads" (threads held hostage by failed cores),
+/// and "RepairedCores" (cores re-onlined by repair events so far).
+/// Mechanisms and the resilience bench sample these like any other
+/// platform sensor.
 inline void registerFaultFeatures(Decima &D, sim::Machine &M) {
   D.registerFeature("OnlineCores",
                     [&M] { return static_cast<double>(M.onlineCores()); });
   D.registerFeature("StrandedThreads",
                     [&M] { return static_cast<double>(M.strandedThreads()); });
+  D.registerFeature("RepairedCores",
+                    [&M] { return static_cast<double>(M.repairsApplied()); });
 }
 
 /// Periodically samples a set of named platform features into the trace

@@ -24,7 +24,8 @@ const char *parcae::rt::ctrlStateName(CtrlState S) {
 }
 
 RegionController::RegionController(RegionRunner &Runner, ControllerParams P)
-    : Runner(Runner), P(P), Sim(Runner.machine().sim()) {
+    : Runner(Runner), P(P), Sim(Runner.machine().sim()),
+      OnlineCap(Runner.machine().onlineCores()) {
 #if PARCAE_TELEMETRY_ENABLED
   Tel = telemetry::recorder();
   if (Tel) {
@@ -53,7 +54,8 @@ void RegionController::start(unsigned ThreadBudget) {
   assert(!Started && "controller already started");
   assert(ThreadBudget >= 1 && "need at least one thread");
   Started = true;
-  Budget = ThreadBudget;
+  Granted = ThreadBudget;
+  Budget = std::max(1u, std::min(ThreadBudget, OnlineCap));
   enterInit();
   scheduleTick();
 }
@@ -519,17 +521,18 @@ unsigned RegionController::dopUpperBound(unsigned TaskIdx) const {
 }
 
 void RegionController::onCapacityChange(unsigned Online) {
-  unsigned N = std::max(1u, Online);
+  OnlineCap = std::max(1u, Online);
+  unsigned N = std::max(1u, std::min(Granted, OnlineCap));
   if (!Started || St == CtrlState::Done)
     return;
-  if (N >= Budget)
-    return; // the budget already fits the surviving cores
+  if (N == Budget)
+    return; // the effective budget already matches the capacity
   PARCAE_TRACE(Tel,
                instant(TelPid, telemetry::TidController, "ctrl",
-                       "capacity_drop",
+                       N < Budget ? "capacity_drop" : "capacity_grow",
                        {telemetry::TraceArg::num("online", Online),
                         telemetry::TraceArg::num("budget", Budget)}));
-  setThreadBudget(N);
+  applyBudget(N);
 }
 
 void RegionController::forceRecover(RegionConfig C) {
@@ -552,6 +555,13 @@ void RegionController::forceRecover(RegionConfig C) {
 
 void RegionController::setThreadBudget(unsigned N) {
   assert(N >= 1 && "need at least one thread");
+  Granted = N;
+  // The grant is aspirational: a degraded machine caps what the
+  // controller may actually schedule until repairs return capacity.
+  applyBudget(std::max(1u, std::min(N, OnlineCap)));
+}
+
+void RegionController::applyBudget(unsigned N) {
   if (!Started || N == Budget || St == CtrlState::Done) {
     Budget = std::max(1u, N);
     return;

@@ -71,7 +71,9 @@ public:
   /// must not have been started; the controller launches it in SEQ.
   void start(unsigned ThreadBudget);
 
-  /// Platform-wide daemon adjusts this program's share (Algorithm 5).
+  /// Platform-wide daemon adjusts this program's share (Algorithm 5). The
+  /// grant is remembered; the effective budget is the grant clamped to
+  /// the last known machine capacity.
   void setThreadBudget(unsigned N);
 
   /// The runner under control (the watchdog drives recovery through it).
@@ -79,9 +81,12 @@ public:
 
   // --- Watchdog entry points (morta/Watchdog.h) ------------------------
 
-  /// Machine capacity shrank to \p Online cores (a core failed). Shrinks
-  /// the thread budget so the controller re-optimizes for the surviving
-  /// cores; a no-op when the budget already fits.
+  /// Machine capacity changed to \p Online cores. A shrink (a core
+  /// failed) caps the thread budget so the controller re-optimizes for
+  /// the survivors; a growth (a repair returned cores) re-expands the
+  /// budget toward the granted share, re-selecting the cached
+  /// configuration for that budget when one exists. A no-op when the
+  /// effective budget is unchanged.
   void onCapacityChange(unsigned Online);
 
   /// Forces an immediate recovery switch to \p C, bypassing measurement:
@@ -93,6 +98,9 @@ public:
 
   CtrlState state() const { return St; }
   unsigned threadBudget() const { return Budget; }
+  /// The share last granted by start()/setThreadBudget(), before the
+  /// capacity clamp.
+  unsigned grantedBudget() const { return Granted; }
   /// Best configuration found so far and its measured throughput.
   const RegionConfig &bestConfig() const { return Best.C; }
   double bestThroughput() const { return Best.Thr; }
@@ -125,6 +133,10 @@ private:
 
   void tick();
   void scheduleTick();
+  /// Installs \p N as the effective budget and re-plans (cache reuse or
+  /// re-calibration) — the shared tail of setThreadBudget and
+  /// onCapacityChange.
+  void applyBudget(unsigned N);
   /// Sets the FSM state, closing/opening the telemetry state span (each
   /// logical phase entry gets its own span, even INIT -> CALIBRATE ->
   /// CALIBRATE across schemes).
@@ -153,7 +165,9 @@ private:
   sim::Simulator &Sim;
 
   CtrlState St = CtrlState::Init;
-  unsigned Budget = 1;
+  unsigned Budget = 1;  ///< effective budget: Granted clamped to OnlineCap
+  unsigned Granted = 1; ///< share granted by start()/setThreadBudget()
+  unsigned OnlineCap;   ///< last known machine capacity (online cores)
   double Tseq = 0.0;
   Candidate Best;          ///< best across schemes (seeded with SEQ)
   Candidate SchemeBest;    ///< best within the scheme being optimized

@@ -31,11 +31,11 @@ void Watchdog::start() {
 }
 
 void Watchdog::beginRecoveryClock(sim::SimTime FaultAt) {
-  if (RecoveryPending)
-    return; // one clock covers overlapping faults; MTTR spans them all
-  RecoveryPending = true;
-  RecoveryStartAt = FaultAt;
-  RetiredAtFault = Runner.totalRetired();
+  // Every fault gets its own window. Folding overlapping faults into one
+  // clock (the old behaviour) under-counted recoveriesCompleted() and
+  // produced a single stretched MTTR sample — exactly what a correlated
+  // burst of failures produces.
+  RecoveryWindows.push_back({FaultAt, Runner.totalRetired()});
 }
 
 void Watchdog::onEscalation(unsigned TaskIdx) {
@@ -89,16 +89,41 @@ void Watchdog::tick() {
     beginRecoveryClock(M.lastOfflineAt());
     KnownOnline = Online;
     Ctrl.onCapacityChange(Online);
+  } else if (Online > KnownOnline) {
+    // Capacity grew: a repair returned cores. Grow the thread budget back
+    // so the controller re-selects (from its per-budget cache when it has
+    // one) the configuration for the richer machine.
+    ++Growths;
+    LastGrowthLatency = Now - M.lastOnlineAt();
+    if (Tel) {
+      Tel->metrics().counter("watchdog.growths").add();
+      Tel->metrics()
+          .histogram("watchdog.grow_latency_us")
+          .add(sim::toSeconds(LastGrowthLatency) * 1e6);
+      Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
+                   "watchdog_grow",
+                   {telemetry::TraceArg::num("online", Online),
+                    telemetry::TraceArg::num("was", KnownOnline)});
+    }
+    KnownOnline = Online;
+    Ctrl.onCapacityChange(Online);
   }
 
   // 2. Progress stall: work is in flight, no transition is running, yet
   // nothing has retired for the stall threshold. Heartbeats tell which
   // task went quiet; recovery aborts and replays from the frontier.
+  // While a transition is draining/resuming, nothing can retire for
+  // legitimate reasons, so the stall clock restarts; without this, the
+  // first iteration after a long transition inherits the whole
+  // transition window and can trip a spurious abortive recovery.
   std::uint64_t Retired = Runner.totalRetired();
-  if (Retired != LastRetired) {
+  if (Runner.transitioning()) {
+    LastProgressAt = Now;
+    LastRetired = Retired;
+  } else if (Retired != LastRetired) {
     LastRetired = Retired;
     LastProgressAt = Now;
-  } else if (!Runner.transitioning() && Runner.exec() &&
+  } else if (Runner.exec() &&
              Now - LastProgressAt >= P.StallThreshold) {
     const RegionExec *E = Runner.exec();
     bool InFlight = E->nextSeq() > E->startSeq() + E->iterationsRetired();
@@ -127,13 +152,16 @@ void Watchdog::tick() {
     }
   }
 
-  // 3. MTTR: a recovery completes when the first iteration retires after
-  // the fault that started the clock.
-  if (RecoveryPending && !Runner.transitioning() &&
-      Runner.totalRetired() > RetiredAtFault) {
-    RecoveryPending = false;
+  // 3. MTTR: a recovery window completes when the first iteration retires
+  // after the fault that opened it. Windows are ordered by fault time, so
+  // completions pop from the front; a burst that opened several windows
+  // yields one completion and one MTTR sample per fault.
+  while (!RecoveryWindows.empty() && !Runner.transitioning() &&
+         Runner.totalRetired() > RecoveryWindows.front().RetiredAtFault) {
+    const RecoveryWindow &W = RecoveryWindows.front();
     ++RecoveriesCompleted;
-    LastMttr = Now - RecoveryStartAt;
+    LastMttr = Now - W.StartAt;
+    RecoveryWindows.pop_front();
     if (Tel) {
       Tel->metrics().counter("watchdog.recoveries").add();
       Tel->metrics()

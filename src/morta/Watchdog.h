@@ -14,6 +14,9 @@
 ///  * polls machine capacity and, when cores have gone offline, rescues
 ///    stranded threads and shrinks the controller's thread budget
 ///    (graceful degradation to a lower DoP, or SEQ);
+///  * detects capacity *growth* (a repair returned cores) and grows the
+///    thread budget back, so the controller re-selects — from its
+///    per-budget cache when possible — the richer configuration;
 ///  * watches region progress against per-task heartbeats and forces an
 ///    abortive recovery when nothing retires for a stall threshold;
 ///  * degrades the region (typically to SEQ) when a transient fault
@@ -32,6 +35,7 @@
 #include "telemetry/Telemetry.h"
 
 #include <cstdint>
+#include <deque>
 
 namespace parcae::rt {
 
@@ -61,23 +65,35 @@ public:
 
   /// Capacity drops detected (one per tick that saw fewer online cores).
   unsigned detections() const { return Detections; }
+  /// Capacity growths detected (one per tick that saw more online cores).
+  unsigned growthsDetected() const { return Growths; }
   /// Progress stalls detected.
   unsigned stallsDetected() const { return Stalls; }
   /// Retry-budget escalations handled.
   unsigned escalationsHandled() const { return EscalationsHandled; }
   /// Recoveries whose completion (first retire after the fault) was seen.
+  /// Each fault opens its own recovery window, so a burst of faults
+  /// counts one completion (and one MTTR sample) per fault.
   unsigned recoveriesCompleted() const { return RecoveriesCompleted; }
+  /// Recovery windows opened but not yet completed.
+  unsigned recoveriesPending() const {
+    return static_cast<unsigned>(RecoveryWindows.size());
+  }
   /// Stranded threads rescued in total.
   unsigned threadsRescued() const { return Rescued; }
   /// Latency of the most recent capacity-drop detection (fault to tick).
   sim::SimTime lastDetectionLatency() const { return LastDetectionLatency; }
+  /// Latency of the most recent capacity-growth detection (repair to tick).
+  sim::SimTime lastGrowthLatency() const { return LastGrowthLatency; }
   /// Most recent mean-time-to-recovery (fault to first retire after).
   sim::SimTime lastMttr() const { return LastMttr; }
 
 private:
   void tick();
   void onEscalation(unsigned TaskIdx);
-  /// Starts the MTTR clock at \p FaultAt (no-op if one is running).
+  /// Opens a recovery window clocked from \p FaultAt. Windows stack: a
+  /// new fault during a running recovery gets its own window, so bursts
+  /// are not folded into one MTTR sample.
   void beginRecoveryClock(sim::SimTime FaultAt);
 
   RegionController &Ctrl;
@@ -90,17 +106,23 @@ private:
   std::uint64_t LastRetired = 0;
   sim::SimTime LastProgressAt = 0;
 
-  // MTTR clock.
-  bool RecoveryPending = false;
-  sim::SimTime RecoveryStartAt = 0;
-  std::uint64_t RetiredAtFault = 0;
+  /// One open MTTR clock per outstanding fault, oldest first. A window
+  /// completes at the first retire after its fault (outside a
+  /// transition); overlapping faults complete separately.
+  struct RecoveryWindow {
+    sim::SimTime StartAt = 0;
+    std::uint64_t RetiredAtFault = 0;
+  };
+  std::deque<RecoveryWindow> RecoveryWindows;
 
   unsigned Detections = 0;
+  unsigned Growths = 0;
   unsigned Stalls = 0;
   unsigned EscalationsHandled = 0;
   unsigned RecoveriesCompleted = 0;
   unsigned Rescued = 0;
   sim::SimTime LastDetectionLatency = 0;
+  sim::SimTime LastGrowthLatency = 0;
   sim::SimTime LastMttr = 0;
 
   // Telemetry (null when tracing is off).

@@ -19,6 +19,41 @@ void FaultPlan::addOffline(unsigned Core, SimTime At) {
   Offlines.push_back({Core, At});
 }
 
+void FaultPlan::addDomain(std::string Name, std::vector<unsigned> Cores,
+                          SimTime At, SimTime Downtime) {
+  assert(!Cores.empty() && "a failure domain holds at least one core");
+  Domains.push_back({std::move(Name), std::move(Cores), At, Downtime});
+}
+
+void FaultPlan::addRepair(unsigned Core, SimTime At) {
+  Repairs.push_back({Core, At});
+}
+
+void FaultPlan::scatterDomain(std::uint64_t Seed, std::string Name,
+                              unsigned NumCores, unsigned Size, SimTime At,
+                              SimTime Downtime) {
+  assert(Size >= 1 && Size <= NumCores && "domain size must fit the machine");
+  // Partial Fisher-Yates over the core indices: the first Size entries are
+  // a uniform distinct sample, fully determined by the seed.
+  std::vector<unsigned> All(NumCores);
+  for (unsigned I = 0; I < NumCores; ++I)
+    All[I] = I;
+  Rng R(Seed);
+  for (unsigned I = 0; I < Size; ++I) {
+    unsigned J = I + static_cast<unsigned>(R.nextBelow(NumCores - I));
+    std::swap(All[I], All[J]);
+  }
+  All.resize(Size);
+  addDomain(std::move(Name), std::move(All), At, Downtime);
+}
+
+std::size_t FaultPlan::numOfflineEvents() const {
+  std::size_t N = Offlines.size();
+  for (const FailureDomainEvent &D : Domains)
+    N += D.Cores.size();
+  return N;
+}
+
 void FaultPlan::addTransient(std::string Task, std::uint64_t Seq,
                              unsigned FailCount) {
   assert(FailCount >= 1 && "a transient fault fails at least once");

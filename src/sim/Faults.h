@@ -20,6 +20,11 @@
 ///  * Transient task faults: a specific dynamic task instance raises a
 ///    fault instead of completing for its first FailCount attempts; Morta
 ///    retries with bounded exponential backoff.
+///  * Failure domains: a named set of cores (a socket, a rack slot) fails
+///    together at one virtual time — the correlated burst real platforms
+///    exhibit — optionally coming back after a downtime window.
+///  * Repairs: a previously failed core re-onlines at a point in time,
+///    returning capacity the watchdog grows the thread budget back into.
 ///
 /// Everything is declared up front (or scattered from a seed), so an
 /// identical plan reproduces a byte-identical event sequence.
@@ -54,6 +59,22 @@ struct OfflineFault {
   SimTime At = 0;
 };
 
+/// A correlated burst: every core of a named domain fails atomically at
+/// time At. Downtime == 0 models a permanent loss; otherwise the whole
+/// domain is repaired (cores re-onlined) at At + Downtime.
+struct FailureDomainEvent {
+  std::string Name;
+  std::vector<unsigned> Cores;
+  SimTime At = 0;
+  SimTime Downtime = 0;
+};
+
+/// A single core re-onlining at time At (repairing an earlier offline).
+struct RepairEvent {
+  unsigned Core = 0;
+  SimTime At = 0;
+};
+
 /// A task instance (identified by task name and region-global iteration
 /// index) whose first FailCount execution attempts fault.
 struct TransientFault {
@@ -74,6 +95,21 @@ public:
 
   /// Permanently offlines \p Core at time \p At.
   void addOffline(unsigned Core, SimTime At);
+
+  /// Fails every core of \p Cores atomically at time \p At (a socket or
+  /// rack event). With \p Downtime > 0 the domain is repaired — all its
+  /// cores re-onlined — at At + Downtime.
+  void addDomain(std::string Name, std::vector<unsigned> Cores, SimTime At,
+                 SimTime Downtime = 0);
+
+  /// Re-onlines \p Core at time \p At (repairs an earlier offline).
+  void addRepair(unsigned Core, SimTime At);
+
+  /// Adds a failure domain of \p Size distinct cores drawn deterministically
+  /// from [0, NumCores) using \p Seed — the seeded counterpart of
+  /// addDomain, mirroring scatterTransients.
+  void scatterDomain(std::uint64_t Seed, std::string Name, unsigned NumCores,
+                     unsigned Size, SimTime At, SimTime Downtime = 0);
 
   /// Makes the first \p FailCount attempts of (\p Task, \p Seq) fault.
   void addTransient(std::string Task, std::uint64_t Seq,
@@ -96,15 +132,24 @@ public:
 
   const std::vector<StragglerFault> &stragglers() const { return Stragglers; }
   const std::vector<OfflineFault> &offlines() const { return Offlines; }
+  const std::vector<FailureDomainEvent> &domains() const { return Domains; }
+  const std::vector<RepairEvent> &repairs() const { return Repairs; }
   std::size_t numTransients() const { return Transients.size(); }
 
+  /// Cores the plan ever offlines, counting each domain member (a core may
+  /// be counted twice if named by both an OfflineFault and a domain).
+  std::size_t numOfflineEvents() const;
+
   bool empty() const {
-    return Stragglers.empty() && Offlines.empty() && Transients.empty();
+    return Stragglers.empty() && Offlines.empty() && Transients.empty() &&
+           Domains.empty() && Repairs.empty();
   }
 
 private:
   std::vector<StragglerFault> Stragglers;
   std::vector<OfflineFault> Offlines;
+  std::vector<FailureDomainEvent> Domains;
+  std::vector<RepairEvent> Repairs;
   std::map<std::pair<std::string, std::uint64_t>, unsigned> Transients;
 };
 

@@ -324,6 +324,22 @@ void Machine::installFaultPlan(FaultPlan NewPlan) {
     assert(F.Core < Cores.size() && "offline fault names a missing core");
     Sim.scheduleAt(F.At, [this, Core = F.Core] { offlineCore(Core); });
   }
+  for (const FailureDomainEvent &D : Plan->domains()) {
+    for (unsigned Core : D.Cores) {
+      (void)Core;
+      assert(Core < Cores.size() && "domain names a missing core");
+    }
+    Sim.scheduleAt(D.At, [this, &D] { offlineDomain(D); });
+    if (D.Downtime > 0)
+      Sim.scheduleAt(D.At + D.Downtime, [this, &D] {
+        for (unsigned Core : D.Cores)
+          onlineCore(Core);
+      });
+  }
+  for (const RepairEvent &R : Plan->repairs()) {
+    assert(R.Core < Cores.size() && "repair names a missing core");
+    Sim.scheduleAt(R.At, [this, Core = R.Core] { onlineCore(Core); });
+  }
   if (Tel)
     for (const StragglerFault &S : Plan->stragglers()) {
       assert(S.Core < Cores.size() && "straggler names a missing core");
@@ -377,10 +393,46 @@ void Machine::offlineCore(unsigned CoreIdx) {
       Tel->end(TelPid, CoreIdx, "core", TelCoreSpan[CoreIdx]->name());
       TelCoreSpan[CoreIdx] = nullptr;
     }
+    emitCapacitySample();
   }
   if (OnTopologyChange)
     OnTopologyChange(OnlineCount);
   dispatch();
+}
+
+void Machine::offlineDomain(const FailureDomainEvent &D) {
+  if (Tel)
+    Tel->instant(TelPid, 0, "machine", "fault_domain",
+                 {telemetry::TraceArg::str("domain", D.Name),
+                  telemetry::TraceArg::num(
+                      "cores", static_cast<double>(D.Cores.size()))});
+  for (unsigned Core : D.Cores)
+    offlineCore(Core);
+}
+
+void Machine::onlineCore(unsigned CoreIdx) {
+  assert(CoreIdx < Cores.size());
+  Core &C = Cores[CoreIdx];
+  if (!C.Offline)
+    return; // never failed (or already repaired): nothing to re-admit
+  C.Offline = false;
+  ++OnlineCount;
+  ++RepairedCount;
+  LastOnlineAt = Sim.now();
+  if (Tel) {
+    Tel->metrics().counter("machine.repairs").add();
+    Tel->instant(TelPid, CoreIdx, "machine", "repair_online",
+                 {telemetry::TraceArg::num("online", OnlineCount)});
+    emitCapacitySample();
+  }
+  if (OnTopologyChange)
+    OnTopologyChange(OnlineCount);
+  // Ready threads queued behind the reduced capacity can use the core now.
+  dispatch();
+}
+
+void Machine::emitCapacitySample() {
+  Tel->counter(TelPid, 0, "machine", "online_cores", OnlineCount);
 }
 
 unsigned Machine::rescueStranded() {

@@ -203,9 +203,10 @@ public:
 
   // --- Fault model (sim/Faults.h) --------------------------------------
 
-  /// Installs a fault plan: offline events are scheduled on the simulator,
-  /// straggler windows dilate slices, and workers query transient faults
-  /// via transientFailCount(). Call before the run starts.
+  /// Installs a fault plan: offline, domain, and repair events are
+  /// scheduled on the simulator, straggler windows dilate slices, and
+  /// workers query transient faults via transientFailCount(). Call before
+  /// the run starts.
   void installFaultPlan(FaultPlan Plan);
   const FaultPlan *faultPlan() const { return Plan ? &*Plan : nullptr; }
 
@@ -216,6 +217,21 @@ public:
   /// ThreadState::Stranded) with its slice's completed work credited; it
   /// stays stranded until rescueStranded().
   void offlineCore(unsigned CoreIdx);
+
+  /// Fails every core of a domain atomically at the current time (one
+  /// burst, one topology notification after the last member).
+  void offlineDomain(const FailureDomainEvent &D);
+
+  /// Repairs a failed core: re-admits it into slice scheduling and the
+  /// capacity counts. A no-op on a core that is already online.
+  void onlineCore(unsigned CoreIdx);
+
+  /// Repairs applied so far (onlineCore calls that re-admitted a core).
+  unsigned repairsApplied() const { return RepairedCount; }
+
+  /// Virtual time of the most recent onlineCore() (watchdog growth
+  /// detection latency is measured against this).
+  SimTime lastOnlineAt() const { return LastOnlineAt; }
 
   /// Threads currently stranded on failed cores.
   unsigned strandedThreads() const { return StrandedCount; }
@@ -233,7 +249,8 @@ public:
   /// latency is measured against this).
   SimTime lastOfflineAt() const { return LastOfflineAt; }
 
-  /// Fires after the online-core count shrinks (from offlineCore).
+  /// Fires after the online-core count changes in either direction
+  /// (offlineCore shrinks it, onlineCore grows it back).
   std::function<void(unsigned OnlineCores)> OnTopologyChange;
 
   /// Transient-fault query for workers: attempts of (\p Task, \p Seq) that
@@ -278,6 +295,9 @@ private:
   void releaseGangHold(SimThread *T);
   void setBusyCount(unsigned N);
   void emitBusySample();
+  /// Records the capacity timeline: an online_cores counter sample at
+  /// every topology change (both directions).
+  void emitCapacitySample();
 
   Simulator &Sim;
   MachineConfig Cfg;
@@ -290,7 +310,9 @@ private:
   unsigned AliveCount = 0;
   unsigned OnlineCount = 0;  ///< cores not offlined by a fault
   unsigned StrandedCount = 0;
+  unsigned RepairedCount = 0; ///< cores re-onlined by repair events
   SimTime LastOfflineAt = 0;
+  SimTime LastOnlineAt = 0;
   std::optional<FaultPlan> Plan;
   bool InDispatch = false;
   bool DispatchPending = false;

@@ -479,6 +479,214 @@ TEST(FaultInjection, QueueSourceRewindReplaysSameItems) {
   EXPECT_FALSE(Src.rewind(5));
 }
 
+TEST(FaultInjection, CountedRewindPastStartRefusesCleanly) {
+  // Rewinding deeper than the pull history must refuse (so recovery can
+  // fall back to a drain), not wrap the cursor — with asserts on here and
+  // with them compiled out in the release flavor (WorkSourceRelease).
+  CountedWorkSource Src(10);
+  Token T;
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 2);
+  EXPECT_FALSE(Src.rewind(5));
+  // The refused rewind left the cursor untouched.
+  EXPECT_EQ(Src.remaining(), 7u);
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 3);
+  // An in-range rewind still replays.
+  EXPECT_TRUE(Src.rewind(2));
+  ASSERT_EQ(Src.tryPull(T), WorkSource::Pull::Got);
+  EXPECT_EQ(T.Value, 2);
+}
+
+TEST(FaultInjection, DomainEventOfflinesCoresAtomically) {
+  // A failure domain takes all its cores at one virtual time.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addDomain("rack0", {2, 3, 5}, 1 * sim::MSec);
+  M.installFaultPlan(std::move(Plan));
+  Sim.scheduleAt(1 * sim::MSec - 1, [&M] { EXPECT_EQ(M.onlineCores(), 8u); });
+  Sim.scheduleAt(1 * sim::MSec + 1, [&M, &Sim] {
+    EXPECT_EQ(M.onlineCores(), 5u);
+    EXPECT_EQ(M.lastOfflineAt(), 1 * sim::MSec);
+    (void)Sim;
+  });
+  Sim.run();
+  EXPECT_EQ(M.onlineCores(), 5u);
+  EXPECT_EQ(M.repairsApplied(), 0u);
+}
+
+TEST(FaultInjection, DomainRepairRestoresCapacity) {
+  // A domain with a downtime window grows onlineCores() back at repair.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addDomain("rack0", {2, 3, 5}, 1 * sim::MSec, /*Downtime=*/2 * sim::MSec);
+  M.installFaultPlan(std::move(Plan));
+  unsigned TopologyChanges = 0;
+  M.OnTopologyChange = [&TopologyChanges](unsigned) { ++TopologyChanges; };
+  Sim.scheduleAt(2 * sim::MSec, [&M] { EXPECT_EQ(M.onlineCores(), 5u); });
+  Sim.scheduleAt(3 * sim::MSec + 1, [&M] {
+    EXPECT_EQ(M.onlineCores(), 8u);
+    EXPECT_EQ(M.repairsApplied(), 3u);
+    EXPECT_EQ(M.lastOnlineAt(), 3 * sim::MSec);
+  });
+  Sim.run();
+  EXPECT_EQ(M.onlineCores(), 8u);
+  EXPECT_EQ(TopologyChanges, 6u) << "3 offlines + 3 repairs";
+}
+
+TEST(FaultInjection, ScatterDomainIsDeterministic) {
+  // The seeded domain helper draws the same distinct cores for the same
+  // seed — the property the check_resilience.sh seed sweep relies on.
+  auto Draw = [](std::uint64_t Seed) {
+    sim::FaultPlan Plan;
+    Plan.scatterDomain(Seed, "s", /*NumCores=*/8, /*Size=*/3,
+                       /*At=*/1 * sim::MSec, /*Downtime=*/1 * sim::MSec);
+    return Plan.domains().at(0).Cores;
+  };
+  std::vector<unsigned> A = Draw(9), B = Draw(9);
+  EXPECT_EQ(A, B);
+  ASSERT_EQ(A.size(), 3u);
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_LT(A[I], 8u);
+    for (std::size_t J = I + 1; J < A.size(); ++J)
+      EXPECT_NE(A[I], A[J]) << "domain cores must be distinct";
+  }
+}
+
+TEST(FaultInjection, BudgetGrowsBackAfterRepair) {
+  // The full grow-back spine: a domain burst takes three cores, the
+  // watchdog shrinks the budget to the survivors, the repair returns
+  // them, and the watchdog grows the budget back to the original grant —
+  // with the output stream staying complete and ordered throughout.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addDomain("socket0", {5, 6, 7}, 2 * sim::MSec + 130 * sim::USec,
+                 /*Downtime=*/10 * sim::MSec);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(1'000'000'000ull);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  // Mid-outage: the budget is capped by the 5 surviving cores.
+  Sim.scheduleAt(9 * sim::MSec, [&] {
+    EXPECT_EQ(M.onlineCores(), 5u);
+    EXPECT_EQ(Ctrl.threadBudget(), 5u);
+    EXPECT_EQ(Ctrl.grantedBudget(), 8u);
+  });
+  Sim.runUntil(40 * sim::MSec);
+  EXPECT_EQ(M.onlineCores(), 8u);
+  EXPECT_EQ(M.repairsApplied(), 3u);
+  EXPECT_GE(Dog.detections(), 1u);
+  EXPECT_GE(Dog.growthsDetected(), 1u);
+  EXPECT_EQ(Ctrl.threadBudget(), 8u) << "budget must grow back to the grant";
+  ASSERT_GT(Tail.size(), 0u);
+  for (std::size_t I = 0; I < Tail.size(); ++I)
+    ASSERT_EQ(Tail[I], static_cast<std::int64_t>(I));
+}
+
+TEST(FaultInjection, OverlappingRecoveryWindowsCountPerFault) {
+  // Two cores die far enough apart to be two watchdog detections, but
+  // close enough that the second fault lands while the recovery from the
+  // first is still in flight. Each fault must get its own recovery
+  // window (and MTTR sample); the old single-clock behaviour folded the
+  // burst into one completion.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  Costs.OptimizedBarrier = false; // every reconfigure takes the full pause
+  Costs.ReconfigCompute = 3 * sim::MSec; // long resume: faults overlap it
+  CountedWorkSource Src(20000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  Sim.scheduleAt(2 * sim::MSec + 50 * sim::USec, [&M] { M.offlineCore(7); });
+  Sim.scheduleAt(3 * sim::MSec + 100 * sim::USec, [&M] { M.offlineCore(6); });
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_EQ(Dog.detections(), 2u);
+  EXPECT_GE(Dog.recoveriesCompleted(), Dog.detections())
+      << "a burst of faults must complete one recovery per fault";
+  EXPECT_EQ(Dog.recoveriesPending(), 0u);
+  ASSERT_EQ(Tail.size(), 20000u);
+  for (std::int64_t I = 0; I < 20000; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, LongTransitionDoesNotTripStallRecovery) {
+  // A pause-drain-resume longer than the stall threshold must not leave
+  // the watchdog's progress clock stale: the first iteration after the
+  // resume would otherwise inherit the whole transition window and trip
+  // a spurious abortive recovery.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  RuntimeCosts Costs;
+  Costs.OptimizedBarrier = false;
+  Costs.OverlapReconfig = false; // the full 6 ms follows the drain
+  Costs.ReconfigCompute = 6 * sim::MSec; // well past the 4 ms threshold
+  CountedWorkSource Src(60);
+  std::vector<std::int64_t> Tail;
+  // Iterations take ~1 ms, so the first retire after the resume lands
+  // several watchdog ticks later — plenty of time for a stale progress
+  // clock (last bumped before the 6 ms pause) to misfire.
+  FlexibleRegion Region("slow");
+  {
+    RegionDesc D;
+    D.Name = "slow-pipe";
+    D.S = Scheme::PsDswp;
+    D.Tasks.emplace_back("a", TaskType::Seq, [](IterationContext &C) {
+      C.Cost = 10 * sim::USec;
+      C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+    });
+    D.Tasks.emplace_back("b", TaskType::Par, [](IterationContext &C) {
+      C.Cost = 1 * sim::MSec;
+      C.Out[0].Value = C.In[0].Value;
+    });
+    D.Tasks.emplace_back("c", TaskType::Seq, [&Tail](IterationContext &C) {
+      C.Cost = 10 * sim::USec;
+      Tail.push_back(C.In[0].Value);
+    });
+    D.Links.push_back({0, 1});
+    D.Links.push_back({1, 2});
+    Region.addVariant(std::move(D));
+  }
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner); // never started: only the stall counter acts
+  Watchdog Dog(Ctrl);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 3, 1};
+  Runner.start(C);
+  Dog.start();
+  Sim.scheduleAt(2 * sim::MSec, [&Runner] {
+    RegionConfig N;
+    N.S = Scheme::PsDswp;
+    N.DoP = {1, 2, 1};
+    Runner.reconfigure(std::move(N));
+  });
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GE(Runner.fullPauses(), 1u);
+  EXPECT_EQ(Dog.stallsDetected(), 0u)
+      << "transition latency misread as a progress stall";
+  ASSERT_EQ(Tail.size(), 60u);
+  for (std::int64_t I = 0; I < 60; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
 TEST(FaultInjection, WorkScaleChangeMidChaos) {
   // Workload variation during reconfiguration chaos: costs change but
   // semantics cannot.
