@@ -55,21 +55,30 @@ namespace {
 constexpr std::uint64_t NumIters = 20000;
 constexpr sim::SimTime BurstAt = 40 * sim::MSec + 130 * sim::USec;
 constexpr sim::SimTime BurstDowntime = 30 * sim::MSec;
+constexpr std::uint64_t WedgeSeq = 7000;
 
 /// The pipeline under test. The tail pushes every iteration's payload
 /// into \p Tail, so output completeness and ordering are checkable. The
 /// SEQ variant's task is named "all": transient faults bound to "work"
-/// cannot follow the region into its degraded form.
-FlexibleRegion makeRegion(std::vector<std::int64_t> *Tail) {
+/// cannot follow the region into its degraded form. \p ProduceProbe, when
+/// non-empty, is called with every sequence number the head task runs —
+/// the wedge scenario uses it to snapshot progress right before the head
+/// wedges.
+FlexibleRegion makeRegion(std::vector<std::int64_t> *Tail,
+                          const std::function<void(std::uint64_t)>
+                              *ProduceProbe = nullptr) {
   FlexibleRegion R("resil");
   {
     RegionDesc D;
     D.Name = "resil-pipe";
     D.S = Scheme::PsDswp;
-    D.Tasks.emplace_back("produce", TaskType::Seq, [](IterationContext &C) {
-      C.Cost = 1500;
-      C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
-    });
+    D.Tasks.emplace_back("produce", TaskType::Seq,
+                         [ProduceProbe](IterationContext &C) {
+                           C.Cost = 1500;
+                           C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+                           if (ProduceProbe && *ProduceProbe)
+                             (*ProduceProbe)(C.Seq);
+                         });
     D.Tasks.emplace_back("work", TaskType::Par, [](IterationContext &C) {
       C.Cost = 24000;
       C.Out[0].Value = C.In[0].Value;
@@ -96,10 +105,21 @@ FlexibleRegion makeRegion(std::vector<std::int64_t> *Tail) {
   return R;
 }
 
-sim::FaultPlan makePlan(std::uint64_t Seed, bool Burst) {
+sim::FaultPlan makePlan(std::uint64_t Seed, bool Burst, bool Wedge) {
   sim::FaultPlan Plan;
   Plan.addStraggler(/*Core=*/1, /*At=*/20 * sim::MSec,
                     /*Duration=*/15 * sim::MSec, /*Dilation=*/4.0);
+  if (Wedge) {
+    // The head task wedges in user code right before claiming WedgeSeq:
+    // no core fails, no capacity changes — only the blame scan can name
+    // the culprit, and only a surgical restart keeps the rest of the
+    // region's backlog retiring while the repair runs.
+    Plan.addWedge("produce", WedgeSeq);
+    Plan.scatterTransients(Seed, "work", /*SeqBegin=*/2000,
+                           /*SeqEnd=*/18000, /*Count=*/40,
+                           /*MaxFailCount=*/2);
+    return Plan;
+  }
   if (Burst) {
     // A correlated burst: one socket event takes three cores atomically
     // (offset from the watchdog's 250 us tick grid, like the offlines
@@ -124,12 +144,19 @@ int main(int Argc, char **Argv) {
   telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
   setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
   std::uint64_t Seed = defaultSeed();
-  bool Burst = false;
-  for (int I = 1; I < Argc; ++I)
+  bool Burst = false, Wedge = false;
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--burst") == 0)
       Burst = true;
+    if (std::strcmp(Argv[I], "--wedge") == 0)
+      Wedge = true;
+  }
 
-  if (Burst)
+  if (Wedge)
+    std::printf("== Resilience: 8-core pipeline under straggler + wedged"
+                " head task + transient faults (seed=%llu) ==\n",
+                static_cast<unsigned long long>(Seed));
+  else if (Burst)
     std::printf("== Resilience: 8-core pipeline under straggler + 3-core"
                 " domain burst + repair + transient faults (seed=%llu) ==\n",
                 static_cast<unsigned long long>(Seed));
@@ -140,16 +167,18 @@ int main(int Argc, char **Argv) {
 
   sim::Simulator Sim;
   sim::Machine M(Sim, 8);
-  M.installFaultPlan(makePlan(Seed, Burst));
+  M.installFaultPlan(makePlan(Seed, Burst, Wedge));
   std::printf("   fault plan: %zu straggler window(s), %zu core"
-              " offline(s), %zu domain(s), %zu transient fault(s)\n\n",
+              " offline(s), %zu domain(s), %zu transient fault(s), %zu"
+              " wedge(s)\n\n",
               M.faultPlan()->stragglers().size(),
               M.faultPlan()->numOfflineEvents(),
               M.faultPlan()->domains().size(),
-              M.faultPlan()->numTransients());
+              M.faultPlan()->numTransients(), M.faultPlan()->wedges().size());
 
   std::vector<std::int64_t> Tail;
-  FlexibleRegion Region = makeRegion(&Tail);
+  std::function<void(std::uint64_t)> ProduceProbe;
+  FlexibleRegion Region = makeRegion(&Tail, &ProduceProbe);
   CountedWorkSource Src(NumIters);
   RuntimeCosts Costs;
   RegionRunner Runner(M, Costs, Region, Src);
@@ -166,6 +195,24 @@ int main(int Argc, char **Argv) {
     DoneAt = Sim.now();
     Sampler.stop();
   };
+
+  // Wedge scenario instrumentation: how much the healthy rest of the
+  // region retired between the head wedging (just before claiming
+  // WedgeSeq) and the watchdog driving the surgical restart. Strictly
+  // more retired means the region kept running through the repair — the
+  // whole point of not aborting it.
+  std::uint64_t RetiredAtWedge = 0, RetiredAtRestart = 0;
+  unsigned RestartedTask = ~0u;
+  if (Wedge) {
+    ProduceProbe = [&](std::uint64_t Seq) {
+      if (Seq + 1 == WedgeSeq)
+        RetiredAtWedge = Runner.totalRetired();
+    };
+    Dog.OnSurgicalRestart = [&](unsigned TaskIdx) {
+      RestartedTask = TaskIdx;
+      RetiredAtRestart = Runner.totalRetired();
+    };
+  }
 
   Ctrl.start(8);
   Dog.start();
@@ -226,13 +273,30 @@ int main(int Argc, char **Argv) {
                   static_cast<long long>(Tail[I]));
       break;
     }
-  if (Dog.detections() < 1)
+  if (!Wedge && Dog.detections() < 1)
     Fail("watchdog never detected the capacity drop");
   if (Runner.totalFaults() == 0)
     Fail("no transient fault was ever injected");
   if (Dog.recoveriesCompleted() < 1)
     Fail("no recovery completed (MTTR never measured)");
-  if (Burst) {
+  if (Wedge) {
+    if (M.onlineCores() != 8)
+      Fail("no core failed: all 8 cores must still be online");
+    if (Dog.blamesAssigned() < 1)
+      Fail("blame scan never convicted the wedged task");
+    if (Dog.surgicalRestarts() < 1)
+      Fail("wedge never repaired surgically");
+    if (Dog.lastBlamedTask() != 0 || RestartedTask != 0)
+      Fail("blame landed on the wrong task (expected the head)");
+    if (Dog.fallbackAborts() != 0)
+      Fail("surgical path must not fall back to abortive recovery");
+    if (Runner.recoveries() != 0)
+      Fail("surgical restart must not abort the whole region");
+    if (Dog.surgicalRecoveriesCompleted() < 1)
+      Fail("surgical recovery never completed (MTTR never measured)");
+    if (RetiredAtRestart <= RetiredAtWedge)
+      Fail("healthy tasks retired nothing during the surgical repair");
+  } else if (Burst) {
     if (M.onlineCores() != 8)
       Fail("expected all 8 cores back online after repair");
     if (M.repairsApplied() != 3)
@@ -267,6 +331,16 @@ int main(int Argc, char **Argv) {
               " escalation(s), %u recovery(s) completed\n",
               Dog.detections(), Dog.growthsDetected(), Dog.stallsDetected(),
               Dog.escalationsHandled(), Dog.recoveriesCompleted());
+  std::printf("   surgical: %u blame(s), %u restart(s), %u fallback"
+              " abort(s), %u completed, MTTR %.0f us\n",
+              Dog.blamesAssigned(), Dog.surgicalRestarts(),
+              Dog.fallbackAborts(), Dog.surgicalRecoveriesCompleted(),
+              us(Dog.lastSurgicalMttr()));
+  if (Wedge)
+    std::printf("   wedge: retired %llu at the wedge, %llu at the surgical"
+                " restart (healthy tasks kept retiring)\n",
+                static_cast<unsigned long long>(RetiredAtWedge),
+                static_cast<unsigned long long>(RetiredAtRestart));
   std::printf("   latency: detection %.0f us, growth %.0f us, MTTR %.0f us\n",
               us(Dog.lastDetectionLatency()), us(Dog.lastGrowthLatency()),
               us(Dog.lastMttr()));

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench_json.sh — run the perf microbenchmarks and collect their
 # machine-readable summaries:
 #   BENCH_simcore.json    events/sec + allocs/event of the discrete-event
@@ -10,7 +10,7 @@
 #   <bench-bindir>  directory containing bench_simcore / bench_overheads
 #   [outdir]        where the JSON lands (default: <bench-bindir>)
 
-set -eu
+set -euo pipefail
 
 BINDIR=${1:?usage: bench_json.sh <bench-bindir> [outdir]}
 OUTDIR=${2:-$BINDIR}

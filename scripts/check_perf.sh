@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # check_perf.sh — CI sanity check of the perf harness. Runs
 # scripts/bench_json.sh and validates the JSON it emits:
 #   * both files exist, are non-empty, and carry the expected fields;
@@ -10,7 +10,7 @@
 #
 # Usage: check_perf.sh <bench-bindir> [workdir]
 
-set -eu
+set -euo pipefail
 
 BINDIR=${1:?usage: check_perf.sh <bench-bindir> [workdir]}
 WORKDIR=${2:-$(mktemp -d)}
@@ -21,17 +21,28 @@ fail() {
   exit 1
 }
 
-# Field extractor: prints the numeric value of "key": <num> or nothing.
+# Field extractor: prints the first numeric value of "key": <num> or
+# nothing. One awk process, no pipeline — the old sed|head pair would
+# trip pipefail whenever head closed the pipe on a multi-match file.
 field() {
-  sed -n "s/.*\"$2\"[[:space:]]*:[[:space:]]*\\(-\\{0,1\\}[0-9.][0-9.]*\\).*/\\1/p" "$1" | head -n 1
+  awk -v key="$2" '
+    {
+      if (match($0, "\"" key "\"[[:space:]]*:[[:space:]]*")) {
+        rest = substr($0, RSTART + RLENGTH)
+        if (match(rest, /^-?[0-9][0-9.]*/)) {
+          print substr(rest, RSTART, RLENGTH)
+          exit
+        }
+      }
+    }' "$1"
 }
 
-# At least: awk-based float compare usable from sh.
+# At least: awk-based float compare.
 at_least() {
   awk -v a="$1" -v b="$2" 'BEGIN { exit (a+0 >= b+0) ? 0 : 1 }'
 }
 
-sh "$SCRIPTDIR/bench_json.sh" "$BINDIR" "$WORKDIR" ||
+bash "$SCRIPTDIR/bench_json.sh" "$BINDIR" "$WORKDIR" ||
   fail "bench_json.sh exited non-zero"
 
 SIMCORE="$WORKDIR/BENCH_simcore.json"

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # check_resilience.sh — end-to-end validation of the fault model and
 # Morta's failure recovery.
 #
@@ -18,10 +18,18 @@
 #   * the trace shows the burst/repair story: the domain fault, the
 #     repair, and the watchdog's growth detection + budget grow-back.
 #
+# wedge mode: runs the wedged-head scenario (--wedge) twice and asserts:
+#   * the wedge is repaired surgically (RESILIENCE: OK includes "healthy
+#     tasks kept retiring" and zero abortive recoveries);
+#   * byte-identical reruns — the blame scan and single-task restart are
+#     as deterministic as every other recovery path;
+#   * the trace shows the surgical story: the wedge fires, the watchdog
+#     convicts the task, and only that task restarts.
+#
 # Usage: check_resilience.sh <path-to-bench_resilience> [workdir] [mode]
-#   mode: legacy | burst | all (default all)
+#   mode: legacy | burst | wedge | all (default all)
 
-set -eu
+set -euo pipefail
 
 BENCH=${1:?usage: check_resilience.sh <bench_resilience> [workdir] [mode]}
 WORKDIR=${2:-$(mktemp -d)}
@@ -114,6 +122,45 @@ if [ "$MODE" = burst ] || [ "$MODE" = all ]; then
   [ -s "$BMETRICS" ] || fail "burst metrics dump missing: $BMETRICS"
   grep -q 'machine\.repairs' "$BMETRICS" || fail "no repair counter"
   grep -q 'watchdog\.growths' "$BMETRICS" || fail "no growth counter"
+fi
+
+if [ "$MODE" = wedge ] || [ "$MODE" = all ]; then
+  run wedge.1 $SEED --wedge
+  run wedge.2 $SEED --wedge
+
+  grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.wedge.1.out" ||
+    fail "wedge run did not recover (no RESILIENCE: OK)"
+  assert_identical wedge.1 wedge.2
+
+  # The surgical verdict in the stdout summary: at least one surgical
+  # restart, zero whole-region aborts, and the rest of the region retired
+  # work between the wedge and the repair.
+  grep -Eq '^   surgical: [1-9][0-9]* blame\(s\), [1-9][0-9]* restart\(s\), 0 fallback abort\(s\)' \
+    "$WORKDIR/resil.wedge.1.out" ||
+    fail "wedge run shows no surgical blame/restart (or a fallback abort)"
+  grep -Eq '^   runner: .* 0 abortive recovery\(s\)$' \
+    "$WORKDIR/resil.wedge.1.out" ||
+    fail "wedge run took a whole-region abortive recovery"
+  grep -q 'healthy tasks kept retiring' "$WORKDIR/resil.wedge.1.out" ||
+    fail "wedge run did not report progress during the repair"
+
+  WTRACE="$WORKDIR/resil.wedge.1.trace.json"
+  [ -s "$WTRACE" ] || fail "wedge trace file missing or empty: $WTRACE"
+  # The surgical story, in trace landmarks: the wedge fires, the blame
+  # scan convicts the task, and only that task is restarted.
+  grep -q '"fault_wedge"' "$WTRACE" || fail "no wedge instant in trace"
+  grep -q '"watchdog_blame"' "$WTRACE" || fail "no blame verdict in trace"
+  grep -q '"surgical_restart"' "$WTRACE" ||
+    fail "no surgical-restart instant in trace"
+  grep -q '"task_restart"' "$WTRACE" || fail "no task-restart instant in trace"
+  WMETRICS="$WTRACE.metrics.txt"
+  [ -s "$WMETRICS" ] || fail "wedge metrics dump missing: $WMETRICS"
+  grep -q 'machine\.faults\.wedges' "$WMETRICS" || fail "no wedge counter"
+  grep -q 'watchdog\.blames' "$WMETRICS" || fail "no blame counter"
+  grep -q 'watchdog\.surgical_restarts' "$WMETRICS" ||
+    fail "no surgical-restart counter"
+  grep -q 'watchdog\.surgical_mttr_us' "$WMETRICS" ||
+    fail "no surgical MTTR histogram"
 fi
 
 echo "check_resilience.sh: OK ($MODE, $WORKDIR)"

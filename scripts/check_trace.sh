@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # check_trace.sh — end-to-end validation of the telemetry exporter.
 #
 # Runs the trace_viewer example with tracing enabled, has it re-parse and
@@ -9,10 +9,11 @@
 #
 # Usage: check_trace.sh <path-to-example_trace_viewer> [workdir]
 
-set -eu
+set -euo pipefail
 
 VIEWER=${1:?usage: check_trace.sh <example_trace_viewer> [workdir]}
 WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
 TRACE="$WORKDIR/check.trace.json"
 
 "$VIEWER" --trace "$TRACE" --check

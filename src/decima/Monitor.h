@@ -28,6 +28,7 @@
 #include "sim/Time.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <map>
@@ -103,6 +104,16 @@ public:
     return Now >= Beat ? sim::toSeconds(Now - Beat) : 0.0;
   }
 
+  /// Worst (oldest) heartbeat age across all tasks of \p R, in seconds —
+  /// the region-level silence signal the watchdog's blame scan refines
+  /// into a per-task verdict. Zero while every task is beating.
+  static double getBlameAge(const RegionExec &R, sim::SimTime Now) {
+    double Worst = 0.0;
+    for (unsigned T = 0; T < R.numTasks(); ++T)
+      Worst = std::max(Worst, getHeartbeatAge(R, T, Now));
+    return Worst;
+  }
+
 private:
   std::map<std::string, std::function<double()>> Features;
 };
@@ -121,6 +132,19 @@ inline void registerFaultFeatures(Decima &D, sim::Machine &M) {
                     [&M] { return static_cast<double>(M.strandedThreads()); });
   D.registerFeature("RepairedCores",
                     [&M] { return static_cast<double>(M.repairsApplied()); });
+}
+
+/// Registers the "BlameAge" platform feature: the oldest heartbeat age of
+/// the current execution, in seconds (0 while everything beats, and
+/// between executions). \p Current resolves the live RegionExec on every
+/// read, so the feature survives reconfigurations and recoveries.
+inline void registerBlameFeature(Decima &D, sim::Machine &M,
+                                 std::function<const RegionExec *()> Current) {
+  assert(Current && "execution resolver required");
+  D.registerFeature("BlameAge", [&M, Current = std::move(Current)] {
+    const RegionExec *E = Current();
+    return E ? Decima::getBlameAge(*E, M.sim().now()) : 0.0;
+  });
 }
 
 /// Periodically samples a set of named platform features into the trace

@@ -96,6 +96,13 @@ public:
   /// configuration.
   void forceRecover(RegionConfig C);
 
+  /// Surgical restart of one task, bypassing every transition: no pause,
+  /// no drain, no config re-selection. When the execution actually did
+  /// something, any in-flight measurement is re-anchored so the repaired
+  /// region is not judged by the stalled window. Returns the execution's
+  /// restart result.
+  RegionExec::RestartResult surgicalRestart(unsigned TaskIdx);
+
   CtrlState state() const { return St; }
   unsigned threadBudget() const { return Budget; }
   /// The share last granted by start()/setThreadBudget(), before the

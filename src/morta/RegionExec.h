@@ -128,6 +128,44 @@ public:
     return LastBeat[TaskIdx];
   }
 
+  // --- Surgical restart (heartbeat blame) -----------------------------
+
+  /// Verdict of a blame scan over the per-worker heartbeats.
+  struct BlameVerdict {
+    bool Blamed = false;  ///< one task is confidently at fault
+    unsigned TaskIdx = 0; ///< the task to restart (valid when Blamed)
+    sim::SimTime OldestBeat = 0; ///< oldest culprit beat (when any culprit)
+    unsigned CulpritTasks = 0;   ///< tasks with >= 1 culprit worker
+    unsigned CulpritWorkers = 0; ///< culprit workers across all tasks
+  };
+
+  /// Scans every live worker for culprits — threads stranded on a dead
+  /// core, or blocked outside every runtime wait (wedged in user code) —
+  /// and blames the task whose oldest culprit beat is past \p Threshold.
+  /// The verdict is ambiguous (Blamed = false) when a second task's
+  /// culprit is within \p Margin of the oldest: restarting one task on
+  /// thin evidence while another is equally silent risks restarting the
+  /// victim, so the caller falls back to abortive recovery.
+  BlameVerdict blameScan(sim::SimTime Now, sim::SimTime Threshold,
+                         sim::SimTime Margin) const;
+
+  /// Outcome of a surgical task restart.
+  struct RestartResult {
+    unsigned Restarted = 0; ///< wedged workers terminated and respawned
+    unsigned Rescued = 0;   ///< stranded threads re-queued in place
+  };
+
+  /// Repairs one task without disturbing the rest of the region: rescues
+  /// its stranded threads, and terminates + respawns its wedged workers at
+  /// their current position. A wedged worker is pre-consumption by
+  /// construction (blocked before receiving any token or running the
+  /// functor), so its iteration is re-derivable: buffered output tokens
+  /// are salvaged into the replacement, and a wedged head's unstarted
+  /// chunk tail is given back to the source (a worker whose claim cannot
+  /// be returned is skipped — the caller's fallback handles it). No
+  /// drain, no frontier rewind, no quiescence callbacks.
+  RestartResult restartTask(unsigned TaskIdx);
+
   /// Transient fault attempts observed in this execution.
   std::uint64_t faultsInjected() const { return FaultsInjected; }
   /// Faults whose retries exhausted Costs.MaxFaultRetries.
@@ -217,7 +255,11 @@ private:
   }
   SimLock &lockFor(int LockId);
 
-  void spawnWorker(unsigned TaskIdx, unsigned Slot, std::uint64_t CursorFrom);
+  /// Spawns a worker for (\p TaskIdx, \p Slot). \p Salvage, when non-null,
+  /// is installed as the new worker's send buffers *before* its thread can
+  /// run — tokens a restarted predecessor produced but had not flushed.
+  Worker *spawnWorker(unsigned TaskIdx, unsigned Slot, std::uint64_t CursorFrom,
+                      std::vector<std::vector<Token>> *Salvage = nullptr);
 
   std::vector<Link *> &inLinks(unsigned TaskIdx) { return InLinks[TaskIdx]; }
   std::vector<Link *> &outLinks(unsigned TaskIdx) { return OutLinks[TaskIdx]; }

@@ -124,6 +124,20 @@ void RegionRunner::scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay) {
   });
 }
 
+RegionExec::RestartResult RegionRunner::restartTask(unsigned TaskIdx) {
+  if (Completed || !Started || !Exec)
+    return {};
+  RegionExec::RestartResult R = Exec->restartTask(TaskIdx);
+  if (R.Restarted > 0) {
+    TaskRestarts += R.Restarted;
+    if (Tel)
+      Tel->metrics()
+          .counter("runner." + Region.name() + ".task_restarts")
+          .add(R.Restarted);
+  }
+  return R;
+}
+
 bool RegionRunner::recover(RegionConfig Target) {
   if (Completed || !Started)
     return false;

@@ -63,6 +63,17 @@ public:
   /// above it re-executes. Returns true if a switch was accepted.
   bool recover(RegionConfig Target);
 
+  /// Surgical restart (the watchdog's blame path): repairs one task of
+  /// the current execution in place — no pause, no drain, no frontier
+  /// rewind, no configuration change. Deliberately allowed while a
+  /// transition is draining (the wedged task may be exactly what is
+  /// blocking the drain); only the resume window, where no execution
+  /// exists, rejects it. Returns what the execution actually did.
+  RegionExec::RestartResult restartTask(unsigned TaskIdx);
+
+  /// Workers terminated and respawned by surgical restarts.
+  unsigned taskRestarts() const { return TaskRestarts; }
+
   /// True while a pause-drain-resume transition is in flight.
   bool transitioning() const { return Transitioning; }
 
@@ -135,6 +146,7 @@ private:
   unsigned Reconfigurations = 0;
   unsigned FullPauses = 0;
   unsigned Recoveries = 0;
+  unsigned TaskRestarts = 0;
   std::uint64_t FaultsBase = 0;
   std::uint64_t EscalationsBase = 0;
   sim::SimTime PauseRequestedAt = 0;

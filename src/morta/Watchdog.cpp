@@ -30,12 +30,12 @@ void Watchdog::start() {
   M.sim().schedule(P.Period, [this] { tick(); });
 }
 
-void Watchdog::beginRecoveryClock(sim::SimTime FaultAt) {
+void Watchdog::beginRecoveryClock(sim::SimTime FaultAt, bool Surgical) {
   // Every fault gets its own window. Folding overlapping faults into one
   // clock (the old behaviour) under-counted recoveriesCompleted() and
   // produced a single stretched MTTR sample — exactly what a correlated
   // burst of failures produces.
-  RecoveryWindows.push_back({FaultAt, Runner.totalRetired()});
+  RecoveryWindows.push_back({FaultAt, Runner.totalRetired(), Surgical});
 }
 
 void Watchdog::onEscalation(unsigned TaskIdx) {
@@ -109,28 +109,33 @@ void Watchdog::tick() {
     Ctrl.onCapacityChange(Online);
   }
 
-  // 2. Progress stall: work is in flight, no transition is running, yet
-  // nothing has retired for the stall threshold. Heartbeats tell which
-  // task went quiet; recovery aborts and replays from the frontier.
-  // While a transition is draining/resuming, nothing can retire for
-  // legitimate reasons, so the stall clock restarts; without this, the
-  // first iteration after a long transition inherits the whole
-  // transition window and can trip a spurious abortive recovery.
+  // 2. Progress stall: work is in flight, yet nothing has retired for the
+  // stall threshold. The blame scan over the per-worker heartbeats names
+  // the wedged task; a confident verdict drives a surgical restart of
+  // just that task, anything less falls back to the whole-region abortive
+  // recovery. The *resume window* of a transition (execution torn down,
+  // restart timer armed) is automatic progress — nothing can retire and
+  // nothing can be repaired, and charging it to the stall clock would
+  // make the first iteration after a long reconfiguration inherit the
+  // whole transition window. A *draining* transition is not: a wedged
+  // worker never sees the pause bound, so the drain itself can wedge —
+  // the stall clock must keep running or the watchdog never notices.
   std::uint64_t Retired = Runner.totalRetired();
-  if (Runner.transitioning()) {
+  if (Runner.transitioning() && !Runner.exec()) {
     LastProgressAt = Now;
     LastRetired = Retired;
   } else if (Retired != LastRetired) {
     LastRetired = Retired;
     LastProgressAt = Now;
+    SurgicalSinceProgress = false; // the repair took: re-arm surgical
   } else if (Runner.exec() &&
              Now - LastProgressAt >= P.StallThreshold) {
     const RegionExec *E = Runner.exec();
     bool InFlight = E->nextSeq() > E->startSeq() + E->iterationsRetired();
     if (InFlight) {
       ++Stalls;
-      unsigned R = M.rescueStranded();
-      Rescued += R;
+      RegionExec::BlameVerdict V =
+          E->blameScan(Now, P.BlameThreshold, P.BlameMargin);
       if (Tel) {
         Tel->metrics().counter("watchdog.stalls").add();
         sim::SimTime OldestBeat = Now;
@@ -144,11 +149,51 @@ void Watchdog::tick() {
              telemetry::TraceArg::num("oldest_beat_age_us",
                                       sim::toSeconds(Now - OldestBeat) *
                                           1e6),
-             telemetry::TraceArg::num("rescued", R)});
+             telemetry::TraceArg::num("culprit_tasks", V.CulpritTasks),
+             telemetry::TraceArg::num("culprit_workers", V.CulpritWorkers)});
       }
-      beginRecoveryClock(LastProgressAt);
-      LastProgressAt = Now; // re-arm: do not refire every tick
-      Ctrl.forceRecover(Runner.config());
+      bool Handled = false;
+      if (P.SurgicalRestart && !SurgicalSinceProgress && V.Blamed) {
+        ++BlamesAssigned;
+        LastBlamedTask = V.TaskIdx;
+        if (Tel) {
+          Tel->metrics().counter("watchdog.blames").add();
+          Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
+                       "watchdog_blame",
+                       {telemetry::TraceArg::num("task", V.TaskIdx),
+                        telemetry::TraceArg::num(
+                            "beat_age_us",
+                            sim::toSeconds(Now - V.OldestBeat) * 1e6)});
+        }
+        RegionExec::RestartResult R = Ctrl.surgicalRestart(V.TaskIdx);
+        if (R.Restarted > 0 || R.Rescued > 0) {
+          ++SurgicalRestarts;
+          Rescued += R.Rescued;
+          SurgicalSinceProgress = true;
+          beginRecoveryClock(LastProgressAt, /*Surgical=*/true);
+          LastProgressAt = Now; // re-arm: do not refire every tick
+          if (Tel)
+            Tel->metrics().counter("watchdog.surgical_restarts").add();
+          if (OnSurgicalRestart)
+            OnSurgicalRestart(V.TaskIdx);
+          Handled = true;
+        }
+      }
+      if (!Handled) {
+        // Ambiguous or absent blame, a restart that achieved nothing, or
+        // a repeat stall with no progress since the last surgical repair:
+        // the conservative whole-region recovery.
+        if (P.SurgicalRestart) {
+          ++FallbackAborts;
+          if (Tel)
+            Tel->metrics().counter("watchdog.fallback_aborts").add();
+        }
+        unsigned R = M.rescueStranded();
+        Rescued += R;
+        beginRecoveryClock(LastProgressAt);
+        LastProgressAt = Now; // re-arm: do not refire every tick
+        Ctrl.forceRecover(Runner.config());
+      }
     }
   }
 
@@ -161,16 +206,26 @@ void Watchdog::tick() {
     const RecoveryWindow &W = RecoveryWindows.front();
     ++RecoveriesCompleted;
     LastMttr = Now - W.StartAt;
+    bool Surgical = W.Surgical;
     RecoveryWindows.pop_front();
+    if (Surgical) {
+      ++SurgicalRecoveriesCompleted;
+      LastSurgicalMttr = LastMttr;
+    }
     if (Tel) {
       Tel->metrics().counter("watchdog.recoveries").add();
       Tel->metrics()
           .histogram("watchdog.mttr_us")
           .add(sim::toSeconds(LastMttr) * 1e6);
+      if (Surgical)
+        Tel->metrics()
+            .histogram("watchdog.surgical_mttr_us")
+            .add(sim::toSeconds(LastMttr) * 1e6);
       Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog",
                    "watchdog_recovered",
                    {telemetry::TraceArg::num(
-                       "mttr_us", sim::toSeconds(LastMttr) * 1e6)});
+                        "mttr_us", sim::toSeconds(LastMttr) * 1e6),
+                    telemetry::TraceArg::num("surgical", Surgical ? 1 : 0)});
     }
   }
 

@@ -17,8 +17,12 @@
 ///  * detects capacity *growth* (a repair returned cores) and grows the
 ///    thread budget back, so the controller re-selects — from its
 ///    per-budget cache when possible — the richer configuration;
-///  * watches region progress against per-task heartbeats and forces an
-///    abortive recovery when nothing retires for a stall threshold;
+///  * watches region progress against per-task heartbeats and, when
+///    nothing retires for a stall threshold, runs a blame scan over the
+///    per-worker heartbeats: a single confidently wedged task is repaired
+///    surgically (rescue + restart of just that task, the rest of the
+///    region keeps running), and only an ambiguous or failed blame falls
+///    back to the whole-region abortive recovery;
 ///  * degrades the region (typically to SEQ) when a transient fault
 ///    exhausts its retry budget, side-stepping the poisoned
 ///    configuration;
@@ -36,6 +40,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
 namespace parcae::rt {
 
@@ -50,6 +55,16 @@ struct WatchdogParams {
   /// names dodge a fault bound to a parallel task). When false, recover
   /// into the current configuration instead.
   bool DegradeToSeqOnEscalation = true;
+  /// On a stall, try to blame and restart the single wedged task before
+  /// reaching for the whole-region abortive recovery.
+  bool SurgicalRestart = true;
+  /// A task is only blamed when its oldest culprit worker has been silent
+  /// at least this long (kept below StallThreshold so a genuine stall
+  /// always has a convictable culprit by the time it is detected).
+  sim::SimTime BlameThreshold = 2 * sim::MSec;
+  /// Blame is ambiguous — fall back to abortive recovery — when a second
+  /// task's culprit is within this margin of the oldest one.
+  sim::SimTime BlameMargin = 500 * sim::USec;
 };
 
 /// Periodic liveness monitor driving Morta's recovery paths.
@@ -81,6 +96,25 @@ public:
   }
   /// Stranded threads rescued in total.
   unsigned threadsRescued() const { return Rescued; }
+  /// Stalls where the blame scan convicted a single task.
+  unsigned blamesAssigned() const { return BlamesAssigned; }
+  /// Blamed tasks actually repaired surgically (restart or scoped rescue).
+  unsigned surgicalRestarts() const { return SurgicalRestarts; }
+  /// Stalls that fell back to whole-region abortive recovery (ambiguous
+  /// blame, no culprit, a repeat stall, or a restart that did nothing).
+  unsigned fallbackAborts() const { return FallbackAborts; }
+  /// Surgical recovery windows completed (first retire after the repair).
+  unsigned surgicalRecoveriesCompleted() const {
+    return SurgicalRecoveriesCompleted;
+  }
+  /// Task most recently convicted by the blame scan.
+  unsigned lastBlamedTask() const { return LastBlamedTask; }
+  /// MTTR of the most recent completed *surgical* recovery.
+  sim::SimTime lastSurgicalMttr() const { return LastSurgicalMttr; }
+
+  /// Fires right after a surgical restart was driven (bench/test hook:
+  /// observe what the rest of the region retired during the repair).
+  std::function<void(unsigned TaskIdx)> OnSurgicalRestart;
   /// Latency of the most recent capacity-drop detection (fault to tick).
   sim::SimTime lastDetectionLatency() const { return LastDetectionLatency; }
   /// Latency of the most recent capacity-growth detection (repair to tick).
@@ -94,7 +128,7 @@ private:
   /// Opens a recovery window clocked from \p FaultAt. Windows stack: a
   /// new fault during a running recovery gets its own window, so bursts
   /// are not folded into one MTTR sample.
-  void beginRecoveryClock(sim::SimTime FaultAt);
+  void beginRecoveryClock(sim::SimTime FaultAt, bool Surgical = false);
 
   RegionController &Ctrl;
   RegionRunner &Runner;
@@ -112,6 +146,7 @@ private:
   struct RecoveryWindow {
     sim::SimTime StartAt = 0;
     std::uint64_t RetiredAtFault = 0;
+    bool Surgical = false; ///< opened by a surgical restart, not an abort
   };
   std::deque<RecoveryWindow> RecoveryWindows;
 
@@ -121,9 +156,19 @@ private:
   unsigned EscalationsHandled = 0;
   unsigned RecoveriesCompleted = 0;
   unsigned Rescued = 0;
+  unsigned BlamesAssigned = 0;
+  unsigned SurgicalRestarts = 0;
+  unsigned FallbackAborts = 0;
+  unsigned SurgicalRecoveriesCompleted = 0;
+  unsigned LastBlamedTask = 0;
+  /// One-shot guard: a surgical restart that produced no retire before
+  /// the next stall did not fix the problem — escalate to abortive
+  /// recovery instead of restarting the same task forever.
+  bool SurgicalSinceProgress = false;
   sim::SimTime LastDetectionLatency = 0;
   sim::SimTime LastGrowthLatency = 0;
   sim::SimTime LastMttr = 0;
+  sim::SimTime LastSurgicalMttr = 0;
 
   // Telemetry (null when tracing is off).
   telemetry::TraceRecorder *Tel = nullptr;

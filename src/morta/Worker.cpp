@@ -13,6 +13,14 @@ Worker::Worker(RegionExec &R, unsigned TaskIdx, unsigned Slot,
       IsHead(TaskIdx == 0), IsTail(TaskIdx + 1 == R.Desc.numTasks()),
       CursorFrom(CursorFrom) {
   SendBufs.resize(R.outLinks(TaskIdx).size());
+  // A worker counts as freshly beaten at spawn, so a replacement worker
+  // is not immediately re-blamed for its predecessor's silence.
+  LastBeatAt = R.machine().sim().now();
+}
+
+void Worker::beat() {
+  LastBeatAt = R.machine().sim().now();
+  R.beat(TaskIdx);
 }
 
 bool Worker::anyBuffered() const {
@@ -67,6 +75,7 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
           return Action::compute(0);
         }
         IdleFlushDone = false;
+        LastWait = WaitKind::Channel;
         return Action::blockAny(In[NextIn]->dataAvail(Slot), R.BoundEvent);
       }
       Ctx.In.push_back(std::move(Tok));
@@ -91,8 +100,10 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
       M.sim().schedule(RetryAt > Now ? RetryAt - Now : 0,
                        [this] { RetryEvent.notifyAll(); });
     }
-    if (Now < RetryAt)
+    if (Now < RetryAt) {
+      LastWait = WaitKind::Retry;
       return Action::block(RetryEvent);
+    }
     BackoffArmed = false;
     return runFunctor(M);
   }
@@ -107,8 +118,10 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
       const CriticalSection &CS = Ctx.Criticals[NextCrit];
       SimLock &L = R.lockFor(CS.LockId);
       if (!CritHeld) {
-        if (!L.tryAcquire())
+        if (!L.tryAcquire()) {
+          LastWait = WaitKind::Lock;
           return Action::block(L.released());
+        }
         CritHeld = true;
         R.Stats[TaskIdx].ComputeTime += CS.Cycles;
         return Action::compute(C.LockCost + CS.Cycles);
@@ -137,7 +150,7 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
   case State::IterDone:
     ++R.Stats[TaskIdx].Iterations;
     R.noteIteration(TaskIdx);
-    R.beat(TaskIdx);
+    beat();
     if (IsTail)
       R.retireIteration(TaskIdx);
     InIteration = false;
@@ -192,6 +205,16 @@ Action Worker::stepFetch() {
         ChunkIters = 0;
       }
       if (ChunkNext < Chunk.size()) {
+        // Wedge injection fires strictly before the iteration starts: no
+        // token has been consumed, no functor has run, and the unstarted
+        // chunk tail (including this item) is intact for give-back when
+        // the watchdog restarts the task.
+        if (!Wedged && R.machine().takeWedge(T.name(), ChunkStart + ChunkNext))
+          Wedged = true;
+        if (Wedged) {
+          LastWait = WaitKind::None;
+          return Action::block(WedgeHang);
+        }
         Cursor = ChunkStart + ChunkNext;
         ChunkHead = false;
         Token Item = std::move(Chunk[ChunkNext]);
@@ -227,6 +250,7 @@ Action Worker::stepFetch() {
         return Action::compute(0);
       }
       IdleFlushDone = false;
+      LastWait = WaitKind::Source;
       return Action::blockAny(R.Source.readyEvent(), R.BoundEvent);
     case WorkSource::Pull::End:
       if (R.EndBound == NoSeq) {
@@ -242,6 +266,15 @@ Action Worker::stepFetch() {
     ChunkIters = Chunk.size();
     ChunkHead = true;
     Cursor = ChunkStart;
+    // Wedge check on the fresh claim, with ChunkNext still 0: the whole
+    // chunk is unstarted and contiguous with the claim frontier, so a
+    // restart gives every item back to the source.
+    if (!Wedged && R.machine().takeWedge(T.name(), ChunkStart))
+      Wedged = true;
+    if (Wedged) {
+      LastWait = WaitKind::None;
+      return Action::block(WedgeHang);
+    }
     Token Item = std::move(Chunk.front());
     ChunkNext = 1;
     return beginIteration(std::move(Item));
@@ -254,6 +287,14 @@ Action Worker::stepFetch() {
   if (Bound != NoSeq && Cursor >= Bound)
     return finishWith(R.EndBound <= R.PauseBound ? TaskStatus::Complete
                                                  : TaskStatus::Paused);
+  // Wedge check before any token is received: the iteration is still
+  // re-derivable by a replacement worker from the same cursor.
+  if (!Wedged && R.machine().takeWedge(T.name(), Cursor))
+    Wedged = true;
+  if (Wedged) {
+    LastWait = WaitKind::None;
+    return Action::block(WedgeHang);
+  }
   // Non-head tasks chunk purely for cost grouping: every K-th owned
   // iteration opens a new cost group and pays the per-chunk fixed costs.
   if (ChunkIters == 0) {
@@ -306,6 +347,7 @@ Action Worker::stepSend() {
         ++NextOut; // window full; leave the buffer for a later pass
         continue;
       }
+      LastWait = WaitKind::Channel;
       return Action::block(Out[NextOut]->spaceAvail());
     }
     Buf.erase(Buf.begin(), Buf.begin() + static_cast<std::ptrdiff_t>(Sent));
@@ -335,7 +377,7 @@ Action Worker::stepSend() {
 
 Action Worker::runFunctor(sim::Machine &M) {
   const RuntimeCosts &C = R.Costs;
-  R.beat(TaskIdx);
+  beat();
   // Transient fault injection: the plan says the first FailCount attempts
   // of this (task, seq) fault before the functor runs. Burn the attempt
   // cost, back off exponentially, retry. The functor only ever executes

@@ -61,6 +61,13 @@ public:
 private:
   friend class RegionExec;
 
+  /// Which runtime wait the worker last blocked in. The watchdog's blame
+  /// scan reads this: a Blocked thread whose last wait is a runtime wait
+  /// (channel, source, retry, lock) is a *victim* of someone else's
+  /// stall, while a Blocked thread with WaitKind::None is blocked outside
+  /// every runtime wait — wedged in user code — and a *culprit*.
+  enum class WaitKind { None, Channel, Source, Retry, Lock };
+
   enum class State {
     Init,        ///< pay Tinit and spawn costs
     Fetch,       ///< find/claim the next instance or detect pause/end
@@ -127,6 +134,19 @@ private:
 
   /// The worker's simulated thread; RegionExec::abort() terminates it.
   sim::SimThread *Thread = nullptr;
+
+  /// Blame state. Per-task heartbeats are the wrong granularity for blame
+  /// — one wedged lane of a parallel task leaves the task beat fresh
+  /// because its healthy siblings keep beating — so each worker records
+  /// its own last beat too.
+  sim::SimTime LastBeatAt = 0;
+  WaitKind LastWait = WaitKind::None;
+  /// Wedge injection (Machine::takeWedge): the worker hangs in user code,
+  /// blocked forever on a waitable nothing ever notifies.
+  bool Wedged = false;
+  sim::Waitable WedgeHang;
+  /// Beats the task heartbeat and this worker's own.
+  void beat();
 
   // Transient-fault retry state. Attempt counts tries of the current
   // iteration; it resets when a new iteration is claimed, so the functor

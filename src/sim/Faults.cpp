@@ -60,6 +60,10 @@ void FaultPlan::addTransient(std::string Task, std::uint64_t Seq,
   Transients[{std::move(Task), Seq}] = FailCount;
 }
 
+void FaultPlan::addWedge(std::string Task, std::uint64_t Seq) {
+  Wedges.push_back({std::move(Task), Seq});
+}
+
 void FaultPlan::scatterTransients(std::uint64_t Seed, const std::string &Task,
                                   std::uint64_t SeqBegin, std::uint64_t SeqEnd,
                                   unsigned Count, unsigned MaxFailCount) {
@@ -85,4 +89,11 @@ unsigned FaultPlan::transientFailCount(const std::string &Task,
                                        std::uint64_t Seq) const {
   auto It = Transients.find({Task, Seq});
   return It == Transients.end() ? 0 : It->second;
+}
+
+bool FaultPlan::wedgeAt(const std::string &Task, std::uint64_t Seq) const {
+  for (const WedgeFault &W : Wedges)
+    if (W.Seq == Seq && W.Task == Task)
+      return true;
+  return false;
 }

@@ -83,6 +83,17 @@ struct TransientFault {
   unsigned FailCount = 1;
 };
 
+/// A task instance that wedges: the worker about to run it hangs forever
+/// (stuck in user code, never returning to the runtime) instead of
+/// executing. Unlike a transient fault there is no retry path — only the
+/// watchdog's blame-and-restart (or abortive recovery) can clear it. A
+/// wedge fires at most once: the restarted worker re-executes the
+/// iteration normally.
+struct WedgeFault {
+  std::string Task;
+  std::uint64_t Seq = 0;
+};
+
 /// The full fault schedule of one run. Value-semantic: the Machine takes a
 /// copy at installFaultPlan(), so one plan can drive many runs.
 class FaultPlan {
@@ -115,6 +126,10 @@ public:
   void addTransient(std::string Task, std::uint64_t Seq,
                     unsigned FailCount = 1);
 
+  /// Wedges the worker that fetches iteration \p Seq of \p Task: it hangs
+  /// in user code until terminated (fires once; see Machine::takeWedge).
+  void addWedge(std::string Task, std::uint64_t Seq);
+
   /// Scatters \p Count transient faults over iterations [SeqBegin, SeqEnd)
   /// of \p Task, deterministically from \p Seed. Each fault's FailCount is
   /// uniform in [1, MaxFailCount].
@@ -130,10 +145,14 @@ public:
   unsigned transientFailCount(const std::string &Task,
                               std::uint64_t Seq) const;
 
+  /// True when the plan wedges iteration \p Seq of \p Task.
+  bool wedgeAt(const std::string &Task, std::uint64_t Seq) const;
+
   const std::vector<StragglerFault> &stragglers() const { return Stragglers; }
   const std::vector<OfflineFault> &offlines() const { return Offlines; }
   const std::vector<FailureDomainEvent> &domains() const { return Domains; }
   const std::vector<RepairEvent> &repairs() const { return Repairs; }
+  const std::vector<WedgeFault> &wedges() const { return Wedges; }
   std::size_t numTransients() const { return Transients.size(); }
 
   /// Cores the plan ever offlines, counting each domain member (a core may
@@ -142,7 +161,7 @@ public:
 
   bool empty() const {
     return Stragglers.empty() && Offlines.empty() && Transients.empty() &&
-           Domains.empty() && Repairs.empty();
+           Domains.empty() && Repairs.empty() && Wedges.empty();
   }
 
 private:
@@ -150,6 +169,7 @@ private:
   std::vector<OfflineFault> Offlines;
   std::vector<FailureDomainEvent> Domains;
   std::vector<RepairEvent> Repairs;
+  std::vector<WedgeFault> Wedges;
   std::map<std::pair<std::string, std::uint64_t>, unsigned> Transients;
 };
 

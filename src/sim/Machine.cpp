@@ -436,26 +436,52 @@ void Machine::emitCapacitySample() {
 }
 
 unsigned Machine::rescueStranded() {
+  std::vector<SimThread *> All;
+  for (const auto &TP : Threads)
+    if (TP->State == ThreadState::Stranded)
+      All.push_back(TP.get());
+  unsigned N = rescueStranded(All);
+  assert(StrandedCount == 0 && "stranded-count bookkeeping diverged");
+  return N;
+}
+
+unsigned Machine::rescueStranded(const std::vector<SimThread *> &Targets) {
   unsigned N = 0;
-  for (const auto &TP : Threads) {
-    SimThread *T = TP.get();
-    if (T->State != ThreadState::Stranded)
+  for (SimThread *T : Targets) {
+    if (!T || T->State != ThreadState::Stranded)
       continue;
     T->State = ThreadState::Ready;
     ReadyQueue.push_back(T);
+    // Decrement per thread, not wholesale: a partial rescue must leave the
+    // count of the threads it never touched intact.
+    assert(StrandedCount > 0 && "stranded-count bookkeeping diverged");
+    --StrandedCount;
     ++N;
   }
-  assert(N == StrandedCount && "stranded-count bookkeeping diverged");
-  StrandedCount = 0;
   if (N > 0) {
     if (Tel) {
       Tel->metrics().counter("machine.faults.rescued").add(N);
       Tel->instant(TelPid, 0, "machine", "rescue",
-                   {telemetry::TraceArg::num("threads", N)});
+                   {telemetry::TraceArg::num("threads", N),
+                    telemetry::TraceArg::num("still_stranded", StrandedCount)});
     }
     dispatch();
   }
   return N;
+}
+
+bool Machine::takeWedge(const std::string &Task, std::uint64_t Seq) {
+  if (!Plan || !Plan->wedgeAt(Task, Seq))
+    return false;
+  if (!FiredWedges.insert({Task, Seq}).second)
+    return false; // already fired once: the retry runs normally
+  if (Tel) {
+    Tel->metrics().counter("machine.faults.wedges").add();
+    Tel->instant(TelPid, 0, "machine", "fault_wedge",
+                 {telemetry::TraceArg::str("task", Task),
+                  telemetry::TraceArg::num("seq", static_cast<double>(Seq))});
+  }
+  return true;
 }
 
 void Machine::terminate(SimThread *T) {

@@ -33,7 +33,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace parcae::sim {
@@ -240,6 +242,13 @@ public:
   /// interrupted burst where it stopped. Returns how many were rescued.
   unsigned rescueStranded();
 
+  /// Scoped rescue: re-queues only the stranded threads among \p Targets
+  /// (non-stranded or null entries are skipped), leaving other stranded
+  /// threads — and the StrandedCount they are counted in — untouched.
+  /// Surgical restart uses this to repair one task without disturbing the
+  /// rest of the region. Returns how many were rescued.
+  unsigned rescueStranded(const std::vector<SimThread *> &Targets);
+
   /// Kills a thread in any state: its core (if running) is freed, gang
   /// reservations are released, and it counts as finished. Used by the
   /// abortive recovery path that cuts short in-flight iterations.
@@ -259,6 +268,12 @@ public:
                               std::uint64_t Seq) const {
     return Plan ? Plan->transientFailCount(Task, Seq) : 0;
   }
+
+  /// Consuming wedge query: true the first time it is called for a
+  /// (\p Task, \p Seq) the plan wedges, false ever after. Consumption is
+  /// what lets the replacement worker (or an abortive-recovery replay)
+  /// re-execute the iteration without wedging again.
+  bool takeWedge(const std::string &Task, std::uint64_t Seq);
 
   /// Telemetry sink (null = tracing off). Picked up from the process-wide
   /// recorder at construction; the machine binds the recorder's virtual
@@ -314,6 +329,8 @@ private:
   SimTime LastOfflineAt = 0;
   SimTime LastOnlineAt = 0;
   std::optional<FaultPlan> Plan;
+  /// Wedges already consumed by takeWedge (each fires at most once).
+  std::set<std::pair<std::string, std::uint64_t>> FiredWedges;
   bool InDispatch = false;
   bool DispatchPending = false;
   // Busy-core-time integral bookkeeping.

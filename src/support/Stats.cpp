@@ -36,6 +36,7 @@ void SampleSet::decimate() {
   for (std::size_t I = 0; I < Samples.size(); I += 2)
     Samples[Out++] = Samples[I];
   Samples.resize(Out);
+  SortedValid = false;
 }
 
 void Histogram::add(double X) {
@@ -51,11 +52,16 @@ void Histogram::add(double X) {
 }
 
 double SampleSet::percentile(double P) const {
+  // Validate before the empty early-out: an out-of-range P is a caller
+  // bug regardless of whether any samples have arrived yet.
+  assert(P >= 0 && P <= 100 && "percentile must be in [0, 100]");
   if (Samples.empty())
     return 0.0;
-  assert(P >= 0 && P <= 100 && "percentile must be in [0, 100]");
-  std::vector<double> Sorted = Samples;
-  std::sort(Sorted.begin(), Sorted.end());
+  if (!SortedValid) {
+    Sorted = Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    SortedValid = true;
+  }
   if (P <= 0)
     return Sorted.front();
   std::size_t Rank = static_cast<std::size_t>(

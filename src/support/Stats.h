@@ -76,11 +76,15 @@ private:
 /// harnesses, where sample counts are small.
 class SampleSet {
 public:
-  void add(double X) { Samples.push_back(X); }
+  void add(double X) {
+    Samples.push_back(X);
+    SortedValid = false;
+  }
   std::size_t count() const { return Samples.size(); }
   bool empty() const { return Samples.empty(); }
   double mean() const;
-  /// Nearest-rank percentile; \p P in [0, 100].
+  /// Nearest-rank percentile; \p P in [0, 100] (validated before any
+  /// early-out, so an out-of-range P is caught even on an empty set).
   double percentile(double P) const;
   double min() const { return percentile(0); }
   double max() const { return percentile(100); }
@@ -89,6 +93,11 @@ public:
 
 private:
   std::vector<double> Samples;
+  /// Sorted view of Samples, built lazily on the first percentile query
+  /// and reused until the next mutation — a query per histogram metric
+  /// would otherwise re-sort the full set every time.
+  mutable std::vector<double> Sorted;
+  mutable bool SortedValid = false;
 };
 
 /// Percentile histogram: O(1) moments plus recorded samples for p50/p95/p99

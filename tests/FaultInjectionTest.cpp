@@ -687,6 +687,107 @@ TEST(FaultInjection, LongTransitionDoesNotTripStallRecovery) {
     ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
 }
 
+TEST(FaultInjection, WedgeBlamesOnlyTheWedgedTask) {
+  // One lane of the parallel task wedges mid-iteration-stream. The blame
+  // scan must convict task "b" — the per-task heartbeat alone cannot (the
+  // healthy sibling lanes keep it fresh), only the per-worker beats can —
+  // and the watchdog must repair it surgically: no whole-region abortive
+  // recovery, no fallback, and the stream still exactly-once.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addWedge("b", 3000);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(4000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  unsigned RestartedTask = ~0u;
+  Dog.OnSurgicalRestart = [&RestartedTask](unsigned TaskIdx) {
+    RestartedTask = TaskIdx;
+  };
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GE(Dog.stallsDetected(), 1u);
+  EXPECT_GE(Dog.blamesAssigned(), 1u);
+  EXPECT_EQ(Dog.lastBlamedTask(), 1u) << "blame must land on the Par task";
+  EXPECT_EQ(RestartedTask, 1u);
+  EXPECT_GE(Dog.surgicalRestarts(), 1u);
+  EXPECT_GE(Dog.surgicalRecoveriesCompleted(), 1u);
+  EXPECT_EQ(Dog.fallbackAborts(), 0u) << "surgical path must suffice";
+  EXPECT_EQ(Runner.recoveries(), 0u) << "no whole-region abort";
+  ASSERT_EQ(Tail.size(), 4000u);
+  for (std::int64_t I = 0; I < 4000; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, AmbiguousBlameFallsBackToAbortiveRecovery) {
+  // Two tasks wedge within the blame margin of each other: the verdict is
+  // ambiguous, so the watchdog must refuse to guess and take the
+  // conservative whole-region abortive recovery instead. The wedges are
+  // one-shot (consumed when they fire), so the replay completes.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addWedge("b", 3000);
+  Plan.addWedge("c", 2995);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(4000);
+  std::vector<std::int64_t> Tail;
+  FlexibleRegion Region = makeSPS(&Tail);
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner);
+  Watchdog Dog(Ctrl);
+  Ctrl.start(8);
+  Dog.start();
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GE(Dog.stallsDetected(), 1u);
+  EXPECT_GE(Dog.fallbackAborts(), 1u) << "ambiguity must not be guessed at";
+  EXPECT_EQ(Dog.surgicalRestarts(), 0u);
+  EXPECT_GE(Runner.recoveries(), 1u);
+  ASSERT_EQ(Tail.size(), 4000u);
+  for (std::int64_t I = 0; I < 4000; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
+}
+
+TEST(FaultInjection, SurgicalRestartReplaysIdentically) {
+  // The acceptance bar extends to the surgical path: with the same seed
+  // and the same wedge, two runs — straggler, wedge, blame, surgical
+  // restart and all — reproduce the exact same event sequence and output.
+  auto Run = [] {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 8);
+    sim::FaultPlan Plan;
+    Plan.addStraggler(1, 1 * sim::MSec, 2 * sim::MSec, 3.0);
+    Plan.addWedge("b", 3000);
+    M.installFaultPlan(std::move(Plan));
+    RuntimeCosts Costs;
+    CountedWorkSource Src(4000);
+    std::vector<std::int64_t> Tail;
+    FlexibleRegion Region = makeSPS(&Tail);
+    RegionRunner Runner(M, Costs, Region, Src);
+    RegionController Ctrl(Runner);
+    Watchdog Dog(Ctrl);
+    Ctrl.start(8);
+    Dog.start();
+    Sim.run();
+    EXPECT_TRUE(Runner.completed());
+    EXPECT_GE(Dog.surgicalRestarts(), 1u);
+    EXPECT_EQ(Tail.size(), 4000u);
+    return std::make_pair(Sim.eventsProcessed(), Tail);
+  };
+  auto A = Run(), B = Run();
+  EXPECT_EQ(A.first, B.first) << "event counts diverged across replays";
+  EXPECT_EQ(A.second, B.second);
+}
+
 TEST(FaultInjection, WorkScaleChangeMidChaos) {
   // Workload variation during reconfiguration chaos: costs change but
   // semantics cannot.

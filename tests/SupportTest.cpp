@@ -134,6 +134,43 @@ TEST(SampleSet, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(S.mean(), 0.0);
 }
 
+TEST(SampleSet, SortedCacheInvalidatedByAdd) {
+  // Regression: the sorted order is cached between percentile queries;
+  // an add() after a query must invalidate it, or later queries answer
+  // from the stale (smaller) sample set.
+  SampleSet S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.max(), 10.0); // builds the cache
+  S.add(50);
+  EXPECT_DOUBLE_EQ(S.max(), 50.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 6.0); // nearest rank over 11 samples
+  S.add(0.5);
+  EXPECT_DOUBLE_EQ(S.min(), 0.5);
+}
+
+TEST(SampleSet, SortedCacheInvalidatedByDecimate) {
+  SampleSet S;
+  for (int I = 1; I <= 10; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.max(), 10.0); // builds the cache
+  S.decimate();                    // keeps 1,3,5,7,9
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 5.0);
+}
+
+TEST(SampleSet, RepeatedQueriesStayConsistent) {
+  SampleSet S;
+  for (int I = 100; I >= 1; --I)
+    S.add(I);
+  for (int Pass = 0; Pass < 3; ++Pass) {
+    EXPECT_DOUBLE_EQ(S.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(S.percentile(95), 95.0);
+    EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(S.percentile(100), 100.0);
+  }
+}
+
 TEST(SampleSet, DecimateKeepsEveryOther) {
   SampleSet S;
   for (int I = 1; I <= 10; ++I)
