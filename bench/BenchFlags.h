@@ -1,0 +1,74 @@
+//===- BenchFlags.h - Shared benchmark command-line flags -------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flags every benchmark main repeats: `--seed N` (installs the
+/// process-wide default seed), `--trace <file.json>` (Chrome trace
+/// output), `--json <path>` (machine-readable results). parse() strips
+/// the flags it recognizes from argv, compacting it in place, so the
+/// bench can hand the remainder to its own parser — or to
+/// google-benchmark, which rejects flags it does not know.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_BENCH_BENCHFLAGS_H
+#define PARCAE_BENCH_BENCHFLAGS_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace parcae::bench {
+
+/// Parsed shared flags. TracePath/JsonPath point into argv and stay
+/// valid for main()'s lifetime; both are null when absent.
+struct BenchFlags {
+  std::uint64_t Seed = 1;
+  const char *TracePath = nullptr;
+  const char *JsonPath = nullptr;
+
+  /// Parses and strips the shared flags. \p Argc is updated to the
+  /// compacted count. Installs the seed via setDefaultSeed().
+  static BenchFlags parse(int &Argc, char **Argv) {
+    BenchFlags F;
+    F.Seed = defaultSeed();
+    auto Value = [&](const char *Flag, int &I, const char *&Out) {
+      std::size_t N = std::strlen(Flag);
+      if (std::strncmp(Argv[I], Flag, N) != 0)
+        return false;
+      if (Argv[I][N] == '=') {
+        Out = Argv[I] + N + 1;
+        return true;
+      }
+      if (Argv[I][N] == '\0' && I + 1 < Argc) {
+        Out = Argv[++I];
+        return true;
+      }
+      return false;
+    };
+    int Keep = 1;
+    for (int I = 1; I < Argc; ++I) {
+      const char *V = nullptr;
+      if (Value("--seed", I, V))
+        F.Seed = std::strtoull(V, nullptr, 10);
+      else if (Value("--trace", I, V))
+        F.TracePath = V;
+      else if (Value("--json", I, V))
+        F.JsonPath = V;
+      else
+        Argv[Keep++] = Argv[I];
+    }
+    Argc = Keep;
+    setDefaultSeed(F.Seed);
+    return F;
+  }
+};
+
+} // namespace parcae::bench
+
+#endif // PARCAE_BENCH_BENCHFLAGS_H

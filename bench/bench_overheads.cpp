@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchFlags.h"
 #include "decima/Monitor.h"
 #include "morta/RegionRunner.h"
 #include "nona/Programs.h"
@@ -296,16 +297,10 @@ BENCHMARK(BM_WidthScheduleQuery);
 } // namespace
 
 int main(int argc, char **argv) {
-  const char *JsonPath = nullptr;
-  for (int I = 1; I < argc; ++I)
-    if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
-      JsonPath = argv[I + 1];
-      // Strip the pair so google-benchmark does not see it.
-      for (int J = I; J + 2 < argc; ++J)
-        argv[J] = argv[J + 2];
-      argc -= 2;
-      break;
-    }
+  // Strips --json (and the other shared flags) so google-benchmark does
+  // not see them.
+  bench::BenchFlags Flags = bench::BenchFlags::parse(argc, argv);
+  const char *JsonPath = Flags.JsonPath;
 
   printSimulatedOverheads();
   std::vector<ChunkRun> Runs = printChunkAB();

@@ -33,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchFlags.h"
 #include "core/Region.h"
 #include "decima/Monitor.h"
 #include "morta/Controller.h"
@@ -141,9 +142,9 @@ double us(sim::SimTime T) { return static_cast<double>(T) / sim::USec; }
 } // namespace
 
 int main(int Argc, char **Argv) {
-  telemetry::TraceFile Trace(telemetry::traceFlagPath(Argc, Argv));
-  setDefaultSeed(seedFlag(Argc, Argv, defaultSeed()));
-  std::uint64_t Seed = defaultSeed();
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  telemetry::TraceFile Trace(Flags.TracePath);
+  std::uint64_t Seed = Flags.Seed;
   bool Burst = false, Wedge = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--burst") == 0)

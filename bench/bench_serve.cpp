@@ -1,0 +1,306 @@
+//===- bench_serve.cpp - Open-loop serving under load phases ---------------===//
+//
+// The serving layer end to end: two request classes on a 16-core machine,
+// arbitrated by the platform daemon with latency SLOs.
+//
+//   * "api"   — light requests (32 x 60k-cycle iterations, DoAny@2) with
+//               a tight SLO (p95 <= 10 ms) and deadline-aware early-drop
+//               admission. Its arrival rate steps through three phases:
+//               under-load -> overload -> recovery.
+//   * "batch" — heavy requests (64 x 150k-cycle iterations, DoAny@2) with
+//               a loose SLO (p95 <= 60 ms) and drop-tail admission, at a
+//               steady Poisson-like rate throughout.
+//
+// Under overload the api class cannot meet demand inside its fair share:
+// the daemon's SLO pass moves budget from the (SLO-meeting) batch class
+// to the violating api class, the early-drop policy sheds requests whose
+// queue wait already blew the deadline, and goodput holds instead of
+// collapsing. When the load drops the lent budget flows back.
+//
+// The run prints a per-phase latency/goodput table, the SLO budget-
+// transfer timeline, and a SERVE: OK/FAIL verdict; --json emits the
+// machine-readable summary scripts/bench_json.sh collects. Everything is
+// seeded and virtual-time-driven: the same --seed gives byte-identical
+// output (scripts/check_serve.sh asserts this over a seed sweep).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchFlags.h"
+#include "morta/Platform.h"
+#include "serve/ServeLoop.h"
+#include "support/Stats.h"
+#include "telemetry/ChromeTrace.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace parcae;
+using namespace parcae::rt;
+using namespace parcae::serve;
+
+namespace {
+
+/// A single-stage DOANY service region: every iteration costs a fixed
+/// number of cycles. Reuses \p Name across requests so telemetry keeps
+/// one process track per class.
+FlexibleRegion makeServiceRegion(const char *Name, sim::SimTime CostPerIter) {
+  FlexibleRegion R(Name);
+  RegionDesc D;
+  D.Name = std::string(Name) + "-par";
+  D.S = Scheme::DoAny;
+  D.Tasks.emplace_back("work", TaskType::Par,
+                       [CostPerIter](IterationContext &Ctx) {
+                         Ctx.Cost = CostPerIter;
+                       });
+  R.addVariant(std::move(D));
+  return R;
+}
+
+constexpr sim::SimTime PhaseLen = 300 * sim::MSec;
+constexpr int NumPhases = 3;
+const char *PhaseNames[NumPhases] = {"under", "overload", "recovery"};
+
+int phaseOf(sim::SimTime At) {
+  int P = static_cast<int>(At / PhaseLen);
+  return P < NumPhases ? P : NumPhases - 1;
+}
+
+/// Per-class, per-arrival-phase accounting (requests are attributed to
+/// the phase they arrived in, wherever they finish).
+struct Bucket {
+  std::uint64_t Completed = 0;
+  std::uint64_t Shed = 0;
+  std::uint64_t Violations = 0;
+  SampleSet TotalMs;
+
+  double goodputPerSec() const {
+    return static_cast<double>(Completed) / sim::toSeconds(PhaseLen);
+  }
+};
+
+/// Cumulative arrival-side counters snapshotted at each phase boundary.
+struct Snapshot {
+  std::uint64_t Arrived = 0;
+  std::uint64_t Admitted = 0;
+  std::uint64_t Rejected = 0;
+  unsigned Budget = 0;
+};
+
+double ms(sim::SimTime T) { return static_cast<double>(T) / sim::MSec; }
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  telemetry::TraceFile Trace(Flags.TracePath);
+  std::uint64_t Seed = Flags.Seed;
+
+  std::printf("== Serve: open-loop serving, 2 classes on a 16-core machine"
+              " (seed=%llu) ==\n",
+              static_cast<unsigned long long>(Seed));
+  std::printf("   api:   32 x 60k-cycle DoAny@2, SLO p95 <= 10.0 ms,"
+              " deadline-early-drop, queue 512\n");
+  std::printf("   batch: 64 x 150k-cycle DoAny@2, SLO p95 <= 60.0 ms,"
+              " drop-tail, queue 256\n");
+  std::printf("   load:  api 1500/s -> 8000/s -> 1500/s (300 ms phases);"
+              " batch steady 300/s\n\n");
+
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 16);
+  RuntimeCosts Costs;
+  PlatformDaemon Daemon(16);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc Api;
+  Api.Name = "api";
+  Api.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("api", 60000);
+  };
+  Api.ItersPerRequest = 32;
+  Api.Config = {Scheme::DoAny, {2}};
+  Api.QueueCapacity = 512;
+  Api.Slo = {95.0, 10 * sim::MSec};
+  // Shed requests whose queue wait already ate the whole SLO budget:
+  // under overload latency saturates near the target (instead of growing
+  // without bound) while excess arrivals are dropped.
+  Api.Policy = std::make_unique<DeadlineEarlyDrop>(10 * sim::MSec);
+  unsigned ApiIdx = Serve.addClass(std::move(Api));
+
+  RequestClassDesc Batch;
+  Batch.Name = "batch";
+  Batch.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("batch", 150000);
+  };
+  Batch.ItersPerRequest = 64;
+  Batch.Config = {Scheme::DoAny, {2}};
+  Batch.QueueCapacity = 256;
+  Batch.Slo = {95.0, 60 * sim::MSec};
+  unsigned BatchIdx = Serve.addClass(std::move(Batch));
+  const unsigned ClassIdx[2] = {ApiIdx, BatchIdx};
+
+  Bucket Buckets[2][NumPhases];
+  Serve.OnRequestDone = [&](const ServeRequest &R) {
+    int Cls = R.ClassIdx == ApiIdx ? 0 : 1;
+    Bucket &B = Buckets[Cls][phaseOf(R.ArrivedAt)];
+    if (R.Shed) {
+      ++B.Shed;
+      return;
+    }
+    ++B.Completed;
+    B.TotalMs.add(ms(R.totalLatency()));
+    sim::SimTime Target = Cls == 0 ? 10 * sim::MSec : 60 * sim::MSec;
+    if (R.totalLatency() > Target)
+      ++B.Violations;
+  };
+
+  // Boundary snapshots of the arrival-side counters and budgets:
+  // Snaps[c][p] holds class c's cumulative counts at the END of phase p.
+  Snapshot Snaps[2][NumPhases];
+  for (int P = 0; P < NumPhases; ++P) {
+    Sim.schedule(static_cast<sim::SimTime>(P + 1) * PhaseLen, [&, P] {
+      for (int Cls = 0; Cls < 2; ++Cls) {
+        const ServeLoop::ClassStats &St = Serve.stats(ClassIdx[Cls]);
+        Snaps[Cls][P] = {St.Arrived, St.Admitted, St.Rejected,
+                         Serve.budgetOf(ClassIdx[Cls])};
+      }
+    });
+  }
+
+  // Arrival processes: a rate-curve replay for the phased api load and a
+  // single steady segment for batch. Per-class seeds split off the run
+  // seed so adding a class never perturbs another's stream.
+  Rng Root(Seed);
+  std::uint64_t ApiSeed = Root.next(), BatchSeed = Root.next();
+  Serve.startArrivals(
+      ApiIdx, std::make_unique<TraceArrivals>(
+                  std::vector<TraceSegment>{
+                      {0.3, 1500.0}, {0.3, 8000.0}, {0.3, 1500.0}},
+                  ApiSeed));
+  Serve.startArrivals(BatchIdx,
+                      std::make_unique<TraceArrivals>(
+                          std::vector<TraceSegment>{{0.9, 300.0}}, BatchSeed));
+
+  Daemon.startArbiter(Sim, sim::MSec);
+
+  Sim.runUntil(NumPhases * PhaseLen);
+  // Drain: arrivals have ended; keep simulating until every queued and
+  // in-service request finished (bounded, in case of a pile-up).
+  while ((Serve.queueDepth(ApiIdx) || Serve.inService(ApiIdx) ||
+          Serve.queueDepth(BatchIdx) || Serve.inService(BatchIdx)) &&
+         Sim.now() < 2 * sim::Sec)
+    Sim.runUntil(Sim.now() + 5 * sim::MSec);
+  Daemon.stopArbiter();
+
+  // --- Per-phase latency/goodput table ---------------------------------
+  std::printf(" class | phase    | arrived admit  rej shed  done |"
+              " goodput/s |   p50ms   p95ms   p99ms | viol\n");
+  std::printf(" ------+----------+-------------------------------+"
+              "-----------+-------------------------+-----\n");
+  for (int Cls = 0; Cls < 2; ++Cls) {
+    const char *Name = Cls == 0 ? "api" : "batch";
+    for (int P = 0; P < NumPhases; ++P) {
+      Snapshot Prev = P > 0 ? Snaps[Cls][P - 1] : Snapshot{};
+      const Snapshot &Cur = Snaps[Cls][P];
+      const Bucket &B = Buckets[Cls][P];
+      std::printf(" %-5s | %-8s | %7llu %5llu %4llu %4llu %5llu |"
+                  " %9.1f | %7.2f %7.2f %7.2f | %4llu\n",
+                  Name, PhaseNames[P],
+                  static_cast<unsigned long long>(Cur.Arrived - Prev.Arrived),
+                  static_cast<unsigned long long>(Cur.Admitted -
+                                                  Prev.Admitted),
+                  static_cast<unsigned long long>(Cur.Rejected -
+                                                  Prev.Rejected),
+                  static_cast<unsigned long long>(B.Shed),
+                  static_cast<unsigned long long>(B.Completed),
+                  B.goodputPerSec(), B.TotalMs.percentile(50),
+                  B.TotalMs.percentile(95), B.TotalMs.percentile(99),
+                  static_cast<unsigned long long>(B.Violations));
+    }
+  }
+
+  // --- SLO budget-transfer timeline ------------------------------------
+  const auto &Transfers = Daemon.sloTransfers();
+  std::uint64_t ToApi = 0, Returns = 0;
+  for (const auto &T : Transfers) {
+    if (std::string(T.Why) == "return")
+      ++Returns;
+    else if (T.To == "api")
+      ++ToApi;
+  }
+  std::printf("\n   slo timeline: %zu transfer(s), %llu toward api, %llu"
+              " hand-back(s)\n",
+              Transfers.size(), static_cast<unsigned long long>(ToApi),
+              static_cast<unsigned long long>(Returns));
+  std::size_t Show = Transfers.size() < 8 ? Transfers.size() : 8;
+  for (std::size_t I = 0; I < Show; ++I)
+    std::printf("     [%8.2f ms] %s -> %s %u thread(s) (%s)\n",
+                ms(Transfers[I].At), Transfers[I].From.c_str(),
+                Transfers[I].To.c_str(), Transfers[I].Threads,
+                Transfers[I].Why);
+  std::printf("   budgets at phase ends: api %u/%u/%u, batch %u/%u/%u\n",
+              Snaps[0][0].Budget, Snaps[0][1].Budget, Snaps[0][2].Budget,
+              Snaps[1][0].Budget, Snaps[1][1].Budget, Snaps[1][2].Budget);
+  std::printf("   drained at %.2f ms (api q=%zu active=%u, batch q=%zu"
+              " active=%u)\n\n",
+              ms(Sim.now()), Serve.queueDepth(ApiIdx),
+              Serve.inService(ApiIdx), Serve.queueDepth(BatchIdx),
+              Serve.inService(BatchIdx));
+
+  // --- Verdict ---------------------------------------------------------
+  bool Ok = true;
+  auto Check = [&](bool Cond, const char *Msg) {
+    if (!Cond) {
+      Ok = false;
+      std::printf("   CHECK FAIL: %s\n", Msg);
+    }
+  };
+  Check(Buckets[0][0].Violations == 0 && Buckets[1][0].Violations == 0,
+        "SLO violations in the under-load phase");
+  std::uint64_t OverloadDropped =
+      Buckets[0][1].Shed + (Snaps[0][1].Rejected - Snaps[0][0].Rejected);
+  Check(OverloadDropped > 0, "overload phase shed no load");
+  Check(Buckets[0][1].goodputPerSec() >=
+            0.8 * Buckets[0][0].goodputPerSec(),
+        "overload goodput collapsed below 80% of under-load");
+  Check(ToApi > 0, "no SLO-driven budget transfer toward the api class");
+  Check(Serve.queueDepth(ApiIdx) == 0 && Serve.inService(ApiIdx) == 0 &&
+            Serve.queueDepth(BatchIdx) == 0 &&
+            Serve.inService(BatchIdx) == 0,
+        "run did not drain");
+  std::printf("SERVE: %s\n", Ok ? "OK" : "FAIL");
+
+  if (Flags.JsonPath) {
+    std::FILE *J = std::fopen(Flags.JsonPath, "w");
+    if (!J) {
+      std::fprintf(stderr, "cannot write %s\n", Flags.JsonPath);
+      return 1;
+    }
+    std::fprintf(J, "{\n  \"bench\": \"serve\",\n  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(Seed));
+    std::fprintf(J, "  \"classes\": [\n");
+    for (int Cls = 0; Cls < 2; ++Cls) {
+      std::fprintf(J, "    {\"name\": \"%s\", \"phases\": [\n",
+                   Cls == 0 ? "api" : "batch");
+      for (int P = 0; P < NumPhases; ++P) {
+        const Bucket &B = Buckets[Cls][P];
+        std::fprintf(
+            J,
+            "      {\"name\": \"%s\", \"completed\": %llu, \"shed\": %llu,"
+            " \"goodput_per_sec\": %.1f, \"p95_ms\": %.3f,"
+            " \"violations\": %llu}%s\n",
+            PhaseNames[P], static_cast<unsigned long long>(B.Completed),
+            static_cast<unsigned long long>(B.Shed), B.goodputPerSec(),
+            B.TotalMs.percentile(95),
+            static_cast<unsigned long long>(B.Violations),
+            P + 1 < NumPhases ? "," : "");
+      }
+      std::fprintf(J, "    ]}%s\n", Cls == 0 ? "," : "");
+    }
+    std::fprintf(J, "  ],\n  \"slo_transfers\": %zu,\n  \"ok\": %s\n}\n",
+                 Transfers.size(), Ok ? "true" : "false");
+    std::fclose(J);
+  }
+  return Ok ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchFlags.h"
 #include "sim/Simulator.h"
 
 #include <atomic>
@@ -176,16 +177,18 @@ void usage(const char *Argv0) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // BenchFlags consumes --json (and --seed/--trace); only the
+  // bench-specific flags remain for the loop below.
+  parcae::bench::BenchFlags Flags =
+      parcae::bench::BenchFlags::parse(argc, argv);
+  const char *JsonPath = Flags.JsonPath;
   std::uint64_t TotalEvents = 2'000'000;
   std::uint64_t NumTimers = 64;
-  const char *JsonPath = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--events") && I + 1 < argc)
       TotalEvents = std::strtoull(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--timers") && I + 1 < argc)
       NumTimers = std::strtoull(argv[++I], nullptr, 10);
-    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
-      JsonPath = argv[++I];
     else
       usage(argv[0]);
   }

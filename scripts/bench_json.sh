@@ -5,6 +5,8 @@
 #                         core vs the legacy std::function implementation
 #   BENCH_overheads.json  per-iteration Morta/Decima + channel overhead at
 #                         pinned chunk sizes K = 1 / 8 / 32
+#   BENCH_serve.json      per-phase goodput/p95/shedding of the two-class
+#                         open-loop serving scenario (bench_serve)
 #
 # Usage: bench_json.sh <bench-bindir> [outdir]
 #   <bench-bindir>  directory containing bench_simcore / bench_overheads
@@ -19,6 +21,8 @@ mkdir -p "$OUTDIR"
 # Modest event count: enough for a stable rate, small enough for CI.
 "$BINDIR/bench_simcore" --events 500000 --json "$OUTDIR/BENCH_simcore.json"
 "$BINDIR/bench_overheads" --json "$OUTDIR/BENCH_overheads.json"
+"$BINDIR/bench_serve" --json "$OUTDIR/BENCH_serve.json" >/dev/null
 
 echo "bench_json.sh: wrote $OUTDIR/BENCH_simcore.json"
 echo "bench_json.sh: wrote $OUTDIR/BENCH_overheads.json"
+echo "bench_json.sh: wrote $OUTDIR/BENCH_serve.json"

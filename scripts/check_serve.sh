@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# check_serve.sh — end-to-end validation of the open-loop serving layer
+# (arrival generation, admission control, and SLO-driven budget
+# arbitration) on bench_serve's three-phase scenario.
+#
+# Sweeps three seeds, running each seed twice, and asserts:
+#   * the bench's own verdict passes (SERVE: OK — zero SLO violations in
+#     the under-load phase, the overload phase sheds load while goodput
+#     stays >= 80% of under-load instead of collapsing, budget flowed
+#     toward the violating class, and the run drains);
+#   * determinism — the two runs' stdout and Chrome traces are
+#     byte-identical (seeded arrivals on virtual time => same world);
+#   * the table shows the load story directly: no under-load violations
+#     for either class, and non-zero shedding in the api overload row;
+#   * the trace shows the arbitration story: repartition instants and
+#     slo_transfer instants, with admission + transfer counters in the
+#     metrics dump.
+#
+# Usage: check_serve.sh <path-to-bench_serve> [workdir]
+
+set -euo pipefail
+
+BENCH=${1:?usage: check_serve.sh <bench_serve> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+fail() {
+  echo "check_serve.sh: FAIL: $1" >&2
+  exit 1
+}
+
+# run <tag> <seed>
+run() {
+  TAG=$1
+  RUNSEED=$2
+  "$BENCH" --seed "$RUNSEED" \
+    --trace "$WORKDIR/serve.$TAG.trace.json" \
+    >"$WORKDIR/serve.$TAG.out" 2>&1 ||
+    fail "run $TAG exited non-zero (see $WORKDIR/serve.$TAG.out)"
+}
+
+# Same seed, same virtual-time world: everything must be byte-identical.
+# (The [telemetry] banner embeds the per-run trace path, so drop it.)
+assert_identical() {
+  grep -v '^\[telemetry\]' "$WORKDIR/serve.$1.out" >"$WORKDIR/serve.$1.flt"
+  grep -v '^\[telemetry\]' "$WORKDIR/serve.$2.out" >"$WORKDIR/serve.$2.flt"
+  cmp -s "$WORKDIR/serve.$1.flt" "$WORKDIR/serve.$2.flt" ||
+    fail "stdout differs between identically seeded runs ($1 vs $2)"
+  cmp -s "$WORKDIR/serve.$1.trace.json" "$WORKDIR/serve.$2.trace.json" ||
+    fail "trace differs between identically seeded runs ($1 vs $2)"
+}
+
+for S in 7 21 42; do
+  run "$S.1" "$S"
+  run "$S.2" "$S"
+
+  OUT="$WORKDIR/serve.$S.1.out"
+  grep -q '^SERVE: OK$' "$OUT" ||
+    fail "seed $S: bench verdict failed (no SERVE: OK)"
+  assert_identical "$S.1" "$S.2"
+
+  # Zero SLO violations in the under-load phase, for both classes (the
+  # viol column is the last field of each table row).
+  for CLS in api batch; do
+    grep -Eq "^ ${CLS}[[:space:]]+\| under[[:space:]]+\|.*\|[[:space:]]+0\$" \
+      "$OUT" || fail "seed $S: $CLS under-load row shows SLO violations"
+  done
+  # The overload phase sheds rather than queueing without bound: a
+  # non-zero shed count in the api overload row (4th numeric column).
+  grep -E '^ api[[:space:]]+\| overload' "$OUT" |
+    awk -F'|' '{ split($3, F, " "); exit F[4] > 0 ? 0 : 1 }' ||
+    fail "seed $S: api overload row shed nothing"
+  # Budget moved toward the violating class under overload.
+  grep -Eq 'slo timeline: [1-9][0-9]* transfer\(s\), [1-9][0-9]* toward api' \
+    "$OUT" || fail "seed $S: no SLO transfer toward the api class"
+done
+
+TRACE="$WORKDIR/serve.42.1.trace.json"
+[ -s "$TRACE" ] || fail "trace file missing or empty: $TRACE"
+
+# The arbitration story, in trace landmarks: the daemon repartitions as
+# tenants register and rebalance, and the SLO pass records its moves.
+grep -q '"repartition"' "$TRACE" || fail "no repartition instant in trace"
+grep -q '"slo_transfer"' "$TRACE" || fail "no slo_transfer instant in trace"
+
+# Admission + arbitration metrics land in the metrics dump.
+METRICS="$TRACE.metrics.txt"
+[ -s "$METRICS" ] || fail "metrics dump missing: $METRICS"
+grep -q 'serve\.admitted' "$METRICS" || fail "no admitted counter"
+grep -q 'serve\.rejected' "$METRICS" || fail "no rejected counter"
+grep -q 'serve\.shed' "$METRICS" || fail "no shed counter"
+grep -q 'platform\.slo_transfers' "$METRICS" || fail "no transfer counter"
+
+echo "check_serve.sh: OK ($WORKDIR)"

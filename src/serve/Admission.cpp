@@ -1,0 +1,7 @@
+//===- Admission.cpp - Admission control for the serving layer -------------===//
+
+#include "serve/Admission.h"
+
+using namespace parcae::serve;
+
+AdmissionPolicy::~AdmissionPolicy() = default;

@@ -1,0 +1,304 @@
+//===- ServeLoop.cpp - Open-loop request broker ----------------------------===//
+
+#include "serve/ServeLoop.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace parcae;
+using namespace parcae::serve;
+
+//===----------------------------------------------------------------------===//
+// ClassTenant: one request class as seen by the platform daemon
+//===----------------------------------------------------------------------===//
+
+class ServeLoop::ClassTenant : public rt::PlatformTenant {
+public:
+  ClassTenant(ServeLoop &S, unsigned Idx) : S(S), Idx(Idx) {}
+
+  const std::string &tenantName() const override {
+    return S.Classes[Idx]->Desc.Name;
+  }
+
+  void onBudget(unsigned Budget, bool /*First*/) override {
+    S.Classes[Idx]->Budget = std::max(1u, Budget);
+    S.pump(Idx);
+  }
+
+  /// Live demand in threads: queued plus in-service requests, each worth
+  /// one runner configuration, floored at one runner (an idle class keeps
+  /// enough to serve the next arrival without a round trip through the
+  /// daemon). Deliberately NOT capped at the budget: demand above the
+  /// budget is exactly the daemon's hunger signal.
+  unsigned threadsUsed() const override {
+    const ClassState &C = *S.Classes[Idx];
+    std::uint64_t Per = std::max(1u, C.Desc.Config.totalThreads());
+    std::uint64_t Demand = (C.Active.size() + C.Queue.size()) * Per;
+    Demand = std::max(Demand, Per);
+    return static_cast<unsigned>(std::min<std::uint64_t>(Demand, 1u << 20));
+  }
+
+  bool wantsMore() const override {
+    const ClassState &C = *S.Classes[Idx];
+    unsigned Per = std::max(1u, C.Desc.Config.totalThreads());
+    return !C.Queue.empty() ||
+           C.Active.size() * static_cast<std::uint64_t>(Per) > C.Budget;
+  }
+
+  bool hasSlo() const override {
+    return S.Classes[Idx]->Desc.Slo.enabled();
+  }
+  double sloTargetSec() const override {
+    return sim::toSeconds(S.Classes[Idx]->Desc.Slo.Target);
+  }
+  double sloPercentile() const override {
+    return S.Classes[Idx]->Desc.Slo.Percentile;
+  }
+  double sloLatencySec() const override {
+    return S.recentLatencySec(Idx, sloPercentile());
+  }
+
+private:
+  ServeLoop &S;
+  unsigned Idx;
+};
+
+//===----------------------------------------------------------------------===//
+// ServeLoop
+//===----------------------------------------------------------------------===//
+
+ServeLoop::ServeLoop(sim::Machine &M, const rt::RuntimeCosts &Costs,
+                     rt::PlatformDaemon &Daemon)
+    : M(M), Sim(M.sim()), Costs(Costs), Daemon(Daemon) {
+#if PARCAE_TELEMETRY_ENABLED
+  Tel = telemetry::recorder();
+  if (Tel) {
+    CntAdmitted = &Tel->metrics().counter("serve.admitted");
+    CntRejected = &Tel->metrics().counter("serve.rejected");
+    CntShed = &Tel->metrics().counter("serve.shed");
+  }
+#endif
+}
+
+ServeLoop::~ServeLoop() {
+  for (auto &C : Classes) {
+    C->Arrivals.reset();
+    ++C->ArrivalEpoch;
+    if (C->Tenant)
+      Daemon.removeTenant(*C->Tenant);
+  }
+}
+
+unsigned ServeLoop::addClass(RequestClassDesc Desc) {
+  assert(Desc.MakeRegion && "request class needs a region factory");
+  assert(Desc.ItersPerRequest > 0 && "requests need at least one iteration");
+  assert(Desc.QueueCapacity > 0 && "admit queue needs capacity");
+  if (!Desc.Policy)
+    Desc.Policy = std::make_unique<DropTailAdmission>();
+
+  unsigned Idx = static_cast<unsigned>(Classes.size());
+  auto C = std::make_unique<ClassState>();
+  C->Desc = std::move(Desc);
+  C->Tenant = std::make_unique<ClassTenant>(*this, Idx);
+  Classes.push_back(std::move(C));
+  // Registration immediately grants a budget (onBudget -> pump).
+  Daemon.addTenant(*Classes[Idx]->Tenant);
+  return Idx;
+}
+
+void ServeLoop::startArrivals(unsigned Idx,
+                              std::unique_ptr<ArrivalProcess> A) {
+  assert(Idx < Classes.size() && A && "bad arrival registration");
+  ClassState &C = *Classes[Idx];
+  C.Arrivals = std::move(A);
+  ++C.ArrivalEpoch;
+  scheduleArrival(Idx);
+}
+
+void ServeLoop::stopArrivals(unsigned Idx) {
+  assert(Idx < Classes.size());
+  Classes[Idx]->Arrivals.reset();
+  ++Classes[Idx]->ArrivalEpoch;
+}
+
+void ServeLoop::scheduleArrival(unsigned Idx) {
+  ClassState &C = *Classes[Idx];
+  std::optional<sim::SimTime> D = C.Arrivals->nextDelay(Sim.now());
+  if (!D) {
+    C.Arrivals.reset(); // a finite trace ended
+    return;
+  }
+  std::uint64_t Epoch = C.ArrivalEpoch;
+  Sim.schedule(*D, [this, Idx, Epoch] {
+    ClassState &C = *Classes[Idx];
+    if (Epoch != C.ArrivalEpoch || !C.Arrivals)
+      return; // stopArrivals()/startArrivals() superseded this event
+    arrive(Idx);
+    scheduleArrival(Idx);
+  });
+}
+
+bool ServeLoop::inject(unsigned Idx) {
+  assert(Idx < Classes.size());
+  std::uint64_t Admitted = Classes[Idx]->Stats.Admitted;
+  arrive(Idx);
+  return Classes[Idx]->Stats.Admitted != Admitted;
+}
+
+void ServeLoop::arrive(unsigned Idx) {
+  ClassState &C = *Classes[Idx];
+  ++C.Stats.Arrived;
+  auto Req = std::make_shared<ServeRequest>();
+  Req->Id = NextId++;
+  Req->ClassIdx = Idx;
+  Req->ArrivedAt = Sim.now();
+  if (!C.Desc.Policy->admit(*Req, C.Queue.size(), C.Desc.QueueCapacity)) {
+    ++C.Stats.Rejected;
+    if (CntRejected)
+      CntRejected->add();
+    return;
+  }
+  ++C.Stats.Admitted;
+  if (CntAdmitted)
+    CntAdmitted->add();
+  C.Queue.push_back(std::move(Req));
+  pump(Idx);
+}
+
+unsigned ServeLoop::slotsFor(const ClassState &C) const {
+  unsigned Per = std::max(1u, C.Desc.Config.totalThreads());
+  return std::max(1u, C.Budget / Per);
+}
+
+void ServeLoop::pump(unsigned Idx) {
+  ClassState &C = *Classes[Idx];
+  while (C.Active.size() < slotsFor(C) && !C.Queue.empty()) {
+    std::shared_ptr<ServeRequest> Req = std::move(C.Queue.front());
+    C.Queue.pop_front();
+    if (C.Desc.Policy->shedAtDispatch(*Req, Sim.now())) {
+      Req->Shed = true;
+      ++C.Stats.Shed;
+      if (CntShed)
+        CntShed->add();
+      finalize(Idx, *Req);
+      continue;
+    }
+    dispatch(Idx, std::move(Req));
+  }
+}
+
+void ServeLoop::dispatch(unsigned Idx, std::shared_ptr<ServeRequest> Req) {
+  ClassState &C = *Classes[Idx];
+  Req->StartedAt = Sim.now();
+  auto F = std::make_unique<InFlight>(C.Desc.MakeRegion(*Req));
+  F->Req = std::move(Req);
+  F->Source =
+      std::make_unique<rt::CountedWorkSource>(C.Desc.ItersPerRequest);
+  F->Runner =
+      std::make_unique<rt::RegionRunner>(M, Costs, F->Region, *F->Source);
+  InFlight *Fp = F.get();
+  F->Runner->OnComplete = [this, Idx, Fp] { finish(Idx, Fp); };
+  C.Active.push_back(std::move(F));
+  Fp->Runner->start(C.Desc.Config);
+}
+
+void ServeLoop::finish(unsigned Idx, InFlight *F) {
+  ClassState &C = *Classes[Idx];
+  ServeRequest &R = *F->Req;
+  R.CompletedAt = Sim.now();
+
+  double QueueUs = static_cast<double>(R.StartedAt - R.ArrivedAt) / 1e3;
+  double ServiceUs = static_cast<double>(R.CompletedAt - R.StartedAt) / 1e3;
+  C.Stats.QueueWaitUs.add(QueueUs);
+  C.Stats.ServiceUs.add(ServiceUs);
+  C.Stats.TotalUs.add(QueueUs + ServiceUs);
+  ++C.Stats.Completed;
+  if (C.Desc.Slo.enabled() && R.totalLatency() > C.Desc.Slo.Target)
+    ++C.Stats.SloViolations;
+
+  C.RecentSec.emplace_back(R.CompletedAt, sim::toSeconds(R.totalLatency()));
+  while (C.RecentSec.size() > ClassState::RecentCap ||
+         (!C.RecentSec.empty() &&
+          C.RecentSec.front().first + ClassState::RecentWindow <
+              R.CompletedAt))
+    C.RecentSec.pop_front();
+
+  finalize(Idx, R);
+
+  // OnComplete fires from inside the runner's own execution: move the
+  // whole in-flight record to the reap list and destroy it (and refill
+  // the freed slot) one event later.
+  auto It = std::find_if(C.Active.begin(), C.Active.end(),
+                         [F](const auto &P) { return P.get() == F; });
+  assert(It != C.Active.end() && "completion for an unknown request");
+  Reap.push_back(std::move(*It));
+  C.Active.erase(It);
+  if (!ReapScheduled) {
+    ReapScheduled = true;
+    Sim.schedule(0, [this] {
+      ReapScheduled = false;
+      Reap.clear();
+      for (unsigned I = 0; I < Classes.size(); ++I)
+        pump(I);
+    });
+  }
+}
+
+void ServeLoop::finalize(unsigned Idx, const ServeRequest &R) {
+  (void)Idx;
+  if (OnRequestDone)
+    OnRequestDone(R);
+}
+
+const std::string &ServeLoop::className(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->Desc.Name;
+}
+
+const ServeLoop::ClassStats &ServeLoop::stats(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->Stats;
+}
+
+std::size_t ServeLoop::queueDepth(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->Queue.size();
+}
+
+unsigned ServeLoop::inService(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return static_cast<unsigned>(Classes[Idx]->Active.size());
+}
+
+unsigned ServeLoop::budgetOf(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->Budget;
+}
+
+double ServeLoop::recentLatencySec(unsigned Idx, double P) const {
+  assert(Idx < Classes.size());
+  const ClassState &C = *Classes[Idx];
+  while (!C.RecentSec.empty() &&
+         C.RecentSec.front().first + ClassState::RecentWindow < Sim.now())
+    C.RecentSec.pop_front();
+  double Lat = -1.0;
+  if (!C.RecentSec.empty()) {
+    std::vector<double> Sorted;
+    Sorted.reserve(C.RecentSec.size());
+    for (const auto &E : C.RecentSec)
+      Sorted.push_back(E.second);
+    std::sort(Sorted.begin(), Sorted.end());
+    std::size_t Rank = static_cast<std::size_t>(
+        std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
+    Rank = std::min(std::max<std::size_t>(Rank, 1), Sorted.size());
+    Lat = Sorted[Rank - 1];
+  }
+  // Floor by the head-of-line queue wait: when completions are being
+  // shed faster than they finish, the queue itself is the latency signal.
+  if (!C.Queue.empty())
+    Lat = std::max(Lat,
+                   sim::toSeconds(Sim.now() - C.Queue.front()->ArrivedAt));
+  return Lat;
+}

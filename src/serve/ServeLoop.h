@@ -1,0 +1,192 @@
+//===- ServeLoop.h - Open-loop request broker -------------------*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's request broker: maps each admitted request of a
+/// registered RequestClass to its own flexible-region execution, tracks
+/// queue/service/total latency per request, and registers each class as a
+/// PlatformTenant so the platform daemon arbitrates thread budgets — and
+/// latency SLOs — across classes.
+///
+/// Flow per class:
+///
+///   ArrivalProcess -> admission (bounded queue, pluggable policy)
+///                  -> dispatch into at most budget/threads-per-request
+///                     concurrent per-request RegionRunners
+///                  -> completion stamps + histograms + SLO window.
+///
+/// The class's tenant reports its live thread demand (queue + in-service)
+/// to the daemon and exposes its windowed SLO latency; the daemon's SLO
+/// pass then moves budget toward violating classes under overload.
+///
+/// Everything runs on the simulator's virtual clock from caller-provided
+/// seeds, so a same-seed replay is byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SERVE_SERVELOOP_H
+#define PARCAE_SERVE_SERVELOOP_H
+
+#include "core/Costs.h"
+#include "core/Region.h"
+#include "core/WorkSource.h"
+#include "morta/Platform.h"
+#include "morta/RegionRunner.h"
+#include "serve/Admission.h"
+#include "serve/Arrival.h"
+#include "sim/Machine.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parcae::serve {
+
+/// A latency service-level objective: percentile(\p Percentile) of total
+/// request latency must stay at or below \p Target.
+struct SloSpec {
+  double Percentile = 95.0;
+  sim::SimTime Target = 0; ///< 0 = no SLO
+  bool enabled() const { return Target > 0; }
+};
+
+/// Everything needed to serve one class of requests.
+struct RequestClassDesc {
+  std::string Name;
+  /// Builds the per-request region. Regions should reuse the class name
+  /// so telemetry maps every request of a class onto one process track.
+  std::function<rt::FlexibleRegion(const ServeRequest &)> MakeRegion;
+  /// Iterations each request's region executes.
+  std::uint64_t ItersPerRequest = 1;
+  /// Configuration each per-request runner starts under; its
+  /// totalThreads() is the class's threads-per-request.
+  rt::RegionConfig Config;
+  std::size_t QueueCapacity = 256;
+  SloSpec Slo;
+  /// Admission policy; DropTailAdmission when null.
+  std::unique_ptr<AdmissionPolicy> Policy;
+};
+
+/// Open-loop request broker over one simulated machine.
+class ServeLoop {
+public:
+  ServeLoop(sim::Machine &M, const rt::RuntimeCosts &Costs,
+            rt::PlatformDaemon &Daemon);
+  ~ServeLoop();
+  ServeLoop(const ServeLoop &) = delete;
+  ServeLoop &operator=(const ServeLoop &) = delete;
+
+  /// Registers a request class (and its daemon tenant). Returns the
+  /// class index used by every other accessor.
+  unsigned addClass(RequestClassDesc Desc);
+
+  /// Starts (or replaces) the open-loop arrival process for a class.
+  void startArrivals(unsigned Idx, std::unique_ptr<ArrivalProcess> A);
+  /// Stops generating arrivals for a class (in-flight work completes).
+  void stopArrivals(unsigned Idx);
+
+  /// Injects a single arrival now (tests drive admission directly).
+  /// Returns false when the request was rejected.
+  bool inject(unsigned Idx);
+
+  /// Per-class serving statistics. Latency histograms are in
+  /// microseconds of virtual time.
+  struct ClassStats {
+    std::uint64_t Arrived = 0;
+    std::uint64_t Admitted = 0;
+    std::uint64_t Rejected = 0; ///< refused at arrival (queue full)
+    std::uint64_t Shed = 0;     ///< dropped at dispatch (deadline policy)
+    std::uint64_t Completed = 0;
+    std::uint64_t SloViolations = 0; ///< completions over the SLO target
+    Histogram QueueWaitUs;
+    Histogram ServiceUs;
+    Histogram TotalUs;
+  };
+
+  unsigned numClasses() const { return static_cast<unsigned>(Classes.size()); }
+  const std::string &className(unsigned Idx) const;
+  const ClassStats &stats(unsigned Idx) const;
+  std::size_t queueDepth(unsigned Idx) const;
+  unsigned inService(unsigned Idx) const;
+  /// The class's current daemon budget (threads).
+  unsigned budgetOf(unsigned Idx) const;
+
+  /// Latency at percentile \p P in seconds over the recent-completions
+  /// window, floored by the current head-of-line queue wait so overload
+  /// is visible even while completions are being shed; negative when the
+  /// class has no signal yet.
+  double recentLatencySec(unsigned Idx, double P) const;
+
+  /// Fires once per finished request (completed or shed) — benches use
+  /// it to bucket requests into load phases by arrival time.
+  std::function<void(const ServeRequest &)> OnRequestDone;
+
+private:
+  class ClassTenant;
+
+  /// One in-flight request execution. Address-stable (held by unique
+  /// pointer): the runner references Region and Source by address.
+  struct InFlight {
+    std::shared_ptr<ServeRequest> Req;
+    rt::FlexibleRegion Region;
+    std::unique_ptr<rt::CountedWorkSource> Source;
+    std::unique_ptr<rt::RegionRunner> Runner;
+
+    explicit InFlight(rt::FlexibleRegion R) : Region(std::move(R)) {}
+  };
+
+  struct ClassState {
+    RequestClassDesc Desc;
+    std::unique_ptr<ClassTenant> Tenant;
+    std::unique_ptr<ArrivalProcess> Arrivals;
+    std::uint64_t ArrivalEpoch = 0; ///< invalidates stale arrival events
+    std::deque<std::shared_ptr<ServeRequest>> Queue;
+    std::vector<std::unique_ptr<InFlight>> Active;
+    unsigned Budget = 1;
+    ClassStats Stats;
+    /// (completion time, total latency in seconds) of recent
+    /// completions: the SLO probe's window. Time-bounded so the signal
+    /// decays when load changes — a count-bounded window would keep
+    /// reading overload-era latencies long after recovery. mutable:
+    /// probes prune expired entries from const accessors.
+    static constexpr sim::SimTime RecentWindow = 150 * sim::MSec;
+    static constexpr std::size_t RecentCap = 512;
+    mutable std::deque<std::pair<sim::SimTime, double>> RecentSec;
+  };
+
+  void scheduleArrival(unsigned Idx);
+  void arrive(unsigned Idx);
+  void pump(unsigned Idx);
+  void dispatch(unsigned Idx, std::shared_ptr<ServeRequest> Req);
+  void finish(unsigned Idx, InFlight *F);
+  void finalize(unsigned Idx, const ServeRequest &R);
+  unsigned slotsFor(const ClassState &C) const;
+
+  sim::Machine &M;
+  sim::Simulator &Sim;
+  const rt::RuntimeCosts &Costs;
+  rt::PlatformDaemon &Daemon;
+  std::vector<std::unique_ptr<ClassState>> Classes;
+  /// Runners whose OnComplete fired this event; destroyed one event
+  /// later (a runner cannot be destroyed from inside its own callback).
+  std::vector<std::unique_ptr<InFlight>> Reap;
+  bool ReapScheduled = false;
+  std::uint64_t NextId = 1;
+
+  // Telemetry (null when tracing is off).
+  telemetry::TraceRecorder *Tel = nullptr;
+  telemetry::Counter *CntAdmitted = nullptr;
+  telemetry::Counter *CntRejected = nullptr;
+  telemetry::Counter *CntShed = nullptr;
+};
+
+} // namespace parcae::serve
+
+#endif // PARCAE_SERVE_SERVELOOP_H

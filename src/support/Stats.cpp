@@ -61,6 +61,7 @@ double SampleSet::percentile(double P) const {
     Sorted = Samples;
     std::sort(Sorted.begin(), Sorted.end());
     SortedValid = true;
+    ++Sorts;
   }
   if (P <= 0)
     return Sorted.front();

@@ -91,6 +91,11 @@ public:
   /// Drops every other recorded sample (bounds memory on long runs).
   void decimate();
 
+  /// Times percentile() actually sorted (a cache rebuild). Regression
+  /// tests pin the caching contract with this: repeated queries between
+  /// mutations must not re-sort.
+  std::uint64_t sortsPerformed() const { return Sorts; }
+
 private:
   std::vector<double> Samples;
   /// Sorted view of Samples, built lazily on the first percentile query
@@ -98,6 +103,7 @@ private:
   /// would otherwise re-sort the full set every time.
   mutable std::vector<double> Sorted;
   mutable bool SortedValid = false;
+  mutable std::uint64_t Sorts = 0;
 };
 
 /// Percentile histogram: O(1) moments plus recorded samples for p50/p95/p99
@@ -128,6 +134,11 @@ public:
 
   /// 1 while every sample is still recorded; doubles per decimation.
   std::uint64_t sampleStride() const { return Stride; }
+
+  /// Sorts the underlying sample set performed for percentile queries;
+  /// stays flat across repeated p50/p95/p99 calls between adds (the
+  /// serving layer polls percentiles every arbiter tick).
+  std::uint64_t percentileSorts() const { return Samples.sortsPerformed(); }
 
 private:
   OnlineStats Stats;

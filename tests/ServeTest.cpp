@@ -1,0 +1,525 @@
+//===- ServeTest.cpp - Serving-layer tests ---------------------------------===//
+//
+// Tests of the open-loop serving layer: seeded arrival processes (Poisson,
+// bursty, trace replay + CSV parsing), admission control, the ServeLoop
+// broker end-to-end on a small machine, and the platform daemon's tenant
+// interface — slack handoff, the ShrunkToFit oscillation guard, and the
+// SLO arbitration pass (violator gains from meeter, hand-back on load
+// drop) — plus the percentile-cache regression for the stats layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "morta/Platform.h"
+#include "serve/Admission.h"
+#include "serve/Arrival.h"
+#include "serve/ServeLoop.h"
+#include "sim/Machine.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace parcae;
+using namespace parcae::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Arrival processes
+//===----------------------------------------------------------------------===//
+
+/// Collects the first \p N delays of an arrival process, advancing a
+/// virtual cursor the way ServeLoop does.
+std::vector<sim::SimTime> firstDelays(ArrivalProcess &A, std::size_t N) {
+  std::vector<sim::SimTime> Out;
+  sim::SimTime Now = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    std::optional<sim::SimTime> D = A.nextDelay(Now);
+    if (!D)
+      break;
+    Out.push_back(*D);
+    Now += *D;
+  }
+  return Out;
+}
+
+TEST(Arrival, PoissonSameSeedSameDelays) {
+  PoissonArrivals A(1000.0, 42), B(1000.0, 42), C(1000.0, 43);
+  std::vector<sim::SimTime> Da = firstDelays(A, 200);
+  std::vector<sim::SimTime> Db = firstDelays(B, 200);
+  std::vector<sim::SimTime> Dc = firstDelays(C, 200);
+  ASSERT_EQ(Da.size(), 200u);
+  EXPECT_EQ(Da, Db);                   // same seed => same stream
+  EXPECT_NE(Da, Dc);                   // different seed => different stream
+  // Mean inter-arrival of a 1000/s process is 1 ms; 200 draws land well
+  // within a factor of two.
+  sim::SimTime Sum = 0;
+  for (sim::SimTime D : Da)
+    Sum += D;
+  double MeanMs = sim::toSeconds(Sum / Da.size()) * 1e3;
+  EXPECT_GT(MeanMs, 0.5);
+  EXPECT_LT(MeanMs, 2.0);
+}
+
+TEST(Arrival, BurstyIsDeterministicAndDenserInBursts) {
+  // Quiet 100/s vs burst 10000/s with 10 ms dwell times: the rate gap is
+  // big enough that mean delay over many draws sits far from quiet-only.
+  BurstyArrivals A(100.0, 10000.0, 0.01, 0.01, 7);
+  BurstyArrivals B(100.0, 10000.0, 0.01, 0.01, 7);
+  std::vector<sim::SimTime> Da = firstDelays(A, 500);
+  std::vector<sim::SimTime> Db = firstDelays(B, 500);
+  ASSERT_EQ(Da.size(), 500u);
+  EXPECT_EQ(Da, Db);
+  sim::SimTime Sum = 0;
+  for (sim::SimTime D : Da)
+    Sum += D;
+  double MeanSec = sim::toSeconds(Sum / Da.size());
+  // Far below the quiet-only mean (10 ms): bursts dominate the draw count.
+  EXPECT_LT(MeanSec, 0.005);
+}
+
+TEST(Arrival, TraceEndsSkipsZeroRateAndLoops) {
+  // 0.5 s of silence, then 0.5 s at 1000/s, not looping.
+  std::vector<TraceSegment> Curve = {{0.5, 0.0}, {0.5, 1000.0}};
+  TraceArrivals A(Curve, 42);
+  sim::SimTime Now = 0;
+  std::optional<sim::SimTime> First = A.nextDelay(Now);
+  ASSERT_TRUE(First.has_value());
+  // The first arrival clears the zero-rate segment entirely.
+  EXPECT_GE(*First, sim::fromSeconds(0.5));
+  std::size_t Count = 1;
+  Now += *First;
+  while (true) {
+    std::optional<sim::SimTime> D = A.nextDelay(Now);
+    if (!D)
+      break;
+    Now += *D;
+    ++Count;
+  }
+  EXPECT_LE(Now, sim::fromSeconds(1.0)); // every arrival inside the curve
+  EXPECT_GT(Count, 100u);                // ~500 expected at 1000/s for 0.5 s
+  // The same curve looped keeps producing past the one-second boundary.
+  TraceArrivals L(Curve, 42, /*Loop=*/true);
+  std::vector<sim::SimTime> Dl = firstDelays(L, 2000);
+  EXPECT_EQ(Dl.size(), 2000u);
+}
+
+TEST(Arrival, TraceCsvRoundTripsAndRejectsMalformed) {
+  std::string Path = testing::TempDir() + "/serve_trace.csv";
+  {
+    std::ofstream F(Path);
+    F << "# diurnal curve\n"
+      << "0.5, 100\n"
+      << "\n"
+      << "1.5, 2500\n";
+  }
+  auto Curve = TraceArrivals::parseCsv(Path);
+  ASSERT_TRUE(Curve.has_value());
+  ASSERT_EQ(Curve->size(), 2u);
+  EXPECT_DOUBLE_EQ((*Curve)[0].DurationSec, 0.5);
+  EXPECT_DOUBLE_EQ((*Curve)[0].RatePerSec, 100.0);
+  EXPECT_DOUBLE_EQ((*Curve)[1].DurationSec, 1.5);
+  EXPECT_DOUBLE_EQ((*Curve)[1].RatePerSec, 2500.0);
+
+  {
+    std::ofstream F(Path);
+    F << "0.5, 100\n"
+      << "not-a-number, 5\n";
+  }
+  EXPECT_FALSE(TraceArrivals::parseCsv(Path).has_value());
+  EXPECT_FALSE(TraceArrivals::parseCsv(Path + ".does-not-exist").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Admission policies
+//===----------------------------------------------------------------------===//
+
+TEST(Admission, DropTailBoundsTheQueue) {
+  DropTailAdmission P;
+  ServeRequest R;
+  EXPECT_TRUE(P.admit(R, 0, 4));
+  EXPECT_TRUE(P.admit(R, 3, 4));
+  EXPECT_FALSE(P.admit(R, 4, 4));
+  EXPECT_FALSE(P.shedAtDispatch(R, 100 * sim::Sec)); // never sheds
+}
+
+TEST(Admission, DeadlineEarlyDropShedsStaleRequests) {
+  DeadlineEarlyDrop P(10 * sim::MSec);
+  ServeRequest R;
+  R.ArrivedAt = 5 * sim::MSec;
+  EXPECT_FALSE(P.shedAtDispatch(R, R.ArrivedAt + 10 * sim::MSec));
+  EXPECT_TRUE(P.shedAtDispatch(R, R.ArrivedAt + 10 * sim::MSec + 1));
+  EXPECT_TRUE(P.admit(R, 0, 4)); // drop-tail at arrival
+  EXPECT_FALSE(P.admit(R, 4, 4));
+}
+
+//===----------------------------------------------------------------------===//
+// ServeLoop end-to-end
+//===----------------------------------------------------------------------===//
+
+/// A single-task DOANY service region: each request costs \p Cost cycles.
+rt::FlexibleRegion makeServiceRegion(const std::string &Name,
+                                     sim::SimTime Cost) {
+  rt::FlexibleRegion R(Name);
+  rt::RegionDesc D;
+  D.Name = Name + "-par";
+  D.S = rt::Scheme::DoAny;
+  D.Tasks.emplace_back("work", rt::TaskType::Par,
+                       [Cost](rt::IterationContext &Ctx) { Ctx.Cost = Cost; });
+  R.addVariant(std::move(D));
+  return R;
+}
+
+TEST(ServeLoop, InjectedRequestsCompleteWithLatencyStats) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "svc";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("svc", 60000);
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+
+  const ServeLoop::ClassStats &S = Serve.stats(Idx);
+  EXPECT_EQ(S.Arrived, 8u);
+  EXPECT_EQ(S.Admitted, 8u);
+  EXPECT_EQ(S.Completed, 8u);
+  EXPECT_EQ(S.Rejected, 0u);
+  EXPECT_EQ(S.Shed, 0u);
+  EXPECT_EQ(S.TotalUs.count(), 8u);
+  EXPECT_GT(S.ServiceUs.mean(), 0.0);        // service took virtual time
+  EXPECT_GT(S.QueueWaitUs.max(), 0.0);       // 8 requests on <= 2 slots queued
+  EXPECT_EQ(Serve.queueDepth(Idx), 0u);
+  EXPECT_EQ(Serve.inService(Idx), 0u);
+  EXPECT_GE(Serve.recentLatencySec(Idx, 95), 0.0); // probe has a signal
+}
+
+TEST(ServeLoop, BoundedQueueRejectsAtArrival) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 2);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(2);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "tiny";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("tiny", 60000);
+  };
+  D.Config = {rt::Scheme::DoAny, {2}};
+  D.QueueCapacity = 1;
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  // First arrival dispatches immediately (budget 2 => one 2-wide slot),
+  // the second queues, the third finds the queue full.
+  EXPECT_TRUE(Serve.inject(Idx));
+  EXPECT_TRUE(Serve.inject(Idx));
+  EXPECT_FALSE(Serve.inject(Idx));
+  EXPECT_EQ(Serve.stats(Idx).Rejected, 1u);
+  Sim.run();
+  EXPECT_EQ(Serve.stats(Idx).Completed, 2u);
+}
+
+TEST(ServeLoop, OnRequestDoneSeesShedRequests) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 2);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(2);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "dl";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("dl", 500000); // 0.5 ms per iteration
+  };
+  D.Config = {rt::Scheme::DoAny, {2}};
+  // Anything that waits at all is shed at dispatch.
+  D.Policy = std::make_unique<DeadlineEarlyDrop>(0);
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  unsigned Done = 0, Shed = 0;
+  Serve.OnRequestDone = [&](const ServeRequest &R) {
+    R.Shed ? ++Shed : ++Done;
+  };
+  for (int I = 0; I < 4; ++I)
+    Serve.inject(Idx);
+  Sim.run();
+  EXPECT_EQ(Done, 1u);  // the head-of-line request never waited
+  EXPECT_EQ(Shed, 3u);  // everything queued blew its deadline
+  EXPECT_EQ(Serve.stats(Idx).Shed, 3u);
+}
+
+TEST(ServeLoop, OpenLoopArrivalsDrainDeterministically) {
+  auto RunOnce = [](std::uint64_t Seed) {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 4);
+    rt::RuntimeCosts Costs;
+    rt::PlatformDaemon Daemon(4);
+    ServeLoop Serve(M, Costs, Daemon);
+
+    RequestClassDesc D;
+    D.Name = "open";
+    D.MakeRegion = [](const ServeRequest &) {
+      return makeServiceRegion("open", 60000);
+    };
+    D.Config = {rt::Scheme::DoAny, {2}};
+    unsigned Idx = Serve.addClass(std::move(D));
+    Serve.startArrivals(Idx,
+                        std::make_unique<PoissonArrivals>(2000.0, Seed));
+    Sim.runUntil(100 * sim::MSec);
+    Serve.stopArrivals(Idx);
+    Sim.run();
+    const ServeLoop::ClassStats &S = Serve.stats(Idx);
+    EXPECT_EQ(S.Admitted, S.Completed + S.Shed);
+    return std::make_tuple(S.Arrived, S.Completed,
+                           S.TotalUs.percentile(95));
+  };
+  auto A = RunOnce(42), B = RunOnce(42), C = RunOnce(7);
+  EXPECT_GT(std::get<0>(A), 100u); // ~200 arrivals in 100 ms at 2000/s
+  EXPECT_EQ(A, B);                 // same seed => identical world
+  EXPECT_NE(A, C);                 // different seed => different world
+}
+
+//===----------------------------------------------------------------------===//
+// PlatformDaemon tenants and SLO arbitration
+//===----------------------------------------------------------------------===//
+
+/// A scriptable tenant: tests set its reported demand and SLO readings.
+class FakeTenant : public rt::PlatformTenant {
+public:
+  explicit FakeTenant(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &tenantName() const override { return Name; }
+  void onBudget(unsigned B, bool First) override {
+    Budget = B;
+    if (First)
+      ++FirstGrants;
+  }
+  unsigned threadsUsed() const override {
+    return Used ? std::min(Used, Budget) : Budget;
+  }
+  bool wantsMore() const override { return WantsMore; }
+
+  bool hasSlo() const override { return HasSlo; }
+  double sloTargetSec() const override { return TargetSec; }
+  double sloLatencySec() const override { return LatencySec; }
+
+  std::string Name;
+  unsigned Budget = 0;
+  /// Thread demand; the report is capped at the grant like a real
+  /// controller's (it cannot use threads it was not given). 0 reports
+  /// the granted budget (steady full consumption).
+  unsigned Used = 0;
+  unsigned FirstGrants = 0;
+  bool WantsMore = false;
+  bool HasSlo = false;
+  double TargetSec = 1.0;
+  double LatencySec = -1.0;
+};
+
+TEST(PlatformTenants, SlackFlowsToHungryTenantAndStaysStable) {
+  sim::Simulator Sim;
+  rt::PlatformDaemon Daemon(8);
+  FakeTenant Hungry("hungry"), Modest("modest");
+  Hungry.Used = 100; // consumes whatever it is given and wants more
+  Hungry.WantsMore = true;
+  Modest.Used = 1; // needs a single thread
+  Daemon.addTenant(Hungry);
+  Daemon.addTenant(Modest);
+  EXPECT_EQ(Hungry.FirstGrants, 1u);
+  EXPECT_EQ(Hungry.Budget + Modest.Budget, 8u); // even split at add
+
+  Daemon.startArbiter(Sim, sim::MSec);
+  Sim.runUntil(2 * sim::MSec);
+  EXPECT_EQ(Modest.Budget, 1u); // shrunk to its reported need
+  EXPECT_EQ(Hungry.Budget, 7u); // slack handed to the saturated tenant
+
+  // Extra ticks change nothing: the same poll readings must reach the
+  // same partition (the arbiter is deterministic and idempotent).
+  Sim.runUntil(10 * sim::MSec);
+  Daemon.stopArbiter();
+  EXPECT_EQ(Modest.Budget, 1u);
+  EXPECT_EQ(Hungry.Budget, 7u);
+}
+
+TEST(PlatformTenants, ShrunkToFitGuardsOscillation) {
+  sim::Simulator Sim;
+  rt::PlatformDaemon Daemon(8);
+  // Both claim they want more, but Small only ever uses one thread: after
+  // the shrink it must not count as hungry again (Used >= Budget alone
+  // would re-grow it every other tick).
+  FakeTenant Big("big"), Small("small");
+  Big.Used = 4;
+  Big.WantsMore = true;
+  Small.Used = 1;
+  Small.WantsMore = true;
+  Daemon.addTenant(Big);
+  Daemon.addTenant(Small);
+
+  Daemon.startArbiter(Sim, sim::MSec);
+  Sim.runUntil(2 * sim::MSec);
+  EXPECT_EQ(Small.Budget, 1u);
+  std::vector<unsigned> SmallBudgets;
+  for (int T = 0; T < 6; ++T) {
+    Sim.runUntil(Sim.now() + sim::MSec);
+    SmallBudgets.push_back(Small.Budget);
+  }
+  Daemon.stopArbiter();
+  for (unsigned B : SmallBudgets)
+    EXPECT_EQ(B, 1u) << "budget oscillated after shrink-to-fit";
+}
+
+TEST(PlatformTenants, SloViolatorGainsFromMeeterThenHandsBack) {
+  sim::Simulator Sim;
+  rt::PlatformDaemon Daemon(8);
+  FakeTenant Viol("viol"), Meet("meet");
+  Viol.HasSlo = true;
+  Viol.TargetSec = 1.0;
+  Viol.LatencySec = 2.0; // ratio 2.0: violating
+  Meet.HasSlo = true;
+  Meet.TargetSec = 1.0;
+  Meet.LatencySec = 0.2; // ratio 0.2: donor headroom
+  Daemon.addTenant(Viol);
+  Daemon.addTenant(Meet);
+  ASSERT_EQ(Viol.Budget, 4u);
+
+  Daemon.startArbiter(Sim, sim::MSec);
+  // One thread per tick flows meet -> viol until the donor is at the
+  // minimum budget.
+  Sim.runUntil(10 * sim::MSec + sim::USec);
+  EXPECT_EQ(Viol.Budget, 7u);
+  EXPECT_EQ(Meet.Budget, 1u);
+  const auto &T1 = Daemon.sloTransfers();
+  ASSERT_EQ(T1.size(), 3u);
+  for (const auto &T : T1) {
+    EXPECT_EQ(T.From, "meet");
+    EXPECT_EQ(T.To, "viol");
+    EXPECT_EQ(T.Threads, 1u);
+    EXPECT_STREQ(T.Why, "violation");
+  }
+  EXPECT_GT(T1.back().At, T1.front().At); // stamped with arbiter time
+
+  // Load drops: the gainer now has ample headroom and returns its loans
+  // one per tick to the lender.
+  Viol.LatencySec = 0.3; // ratio 0.3 <= return headroom
+  Sim.runUntil(20 * sim::MSec);
+  Daemon.stopArbiter();
+  EXPECT_EQ(Viol.Budget, 4u);
+  EXPECT_EQ(Meet.Budget, 4u);
+  const auto &T2 = Daemon.sloTransfers();
+  ASSERT_EQ(T2.size(), 6u);
+  for (std::size_t I = 3; I < 6; ++I) {
+    EXPECT_EQ(T2[I].From, "viol");
+    EXPECT_EQ(T2[I].To, "meet");
+    EXPECT_STREQ(T2[I].Why, "return");
+  }
+}
+
+TEST(PlatformTenants, NoSloDataMeansNoTransfers) {
+  sim::Simulator Sim;
+  rt::PlatformDaemon Daemon(8);
+  // One tenant violating, the other carrying an SLO but with no latency
+  // signal yet: nobody qualifies as a donor, so nothing moves.
+  FakeTenant Viol("viol"), Fresh("fresh");
+  Viol.HasSlo = true;
+  Viol.TargetSec = 1.0;
+  Viol.LatencySec = 5.0;
+  Fresh.HasSlo = true;
+  Fresh.TargetSec = 1.0;
+  Fresh.LatencySec = -1.0; // no data
+  Daemon.addTenant(Viol);
+  Daemon.addTenant(Fresh);
+
+  Daemon.startArbiter(Sim, sim::MSec);
+  Sim.runUntil(5 * sim::MSec);
+  Daemon.stopArbiter();
+  EXPECT_TRUE(Daemon.sloTransfers().empty());
+  EXPECT_EQ(Viol.Budget, 4u);
+  EXPECT_EQ(Fresh.Budget, 4u);
+}
+
+TEST(PlatformTenants, NoSloTenantIsThePreferredDonor) {
+  sim::Simulator Sim;
+  rt::PlatformDaemon Daemon(9);
+  FakeTenant Viol("viol"), Meet("meet"), Plain("plain");
+  Viol.HasSlo = true;
+  Viol.TargetSec = 1.0;
+  Viol.LatencySec = 3.0;
+  Meet.HasSlo = true;
+  Meet.TargetSec = 1.0;
+  Meet.LatencySec = 0.1;
+  Daemon.addTenant(Viol);
+  Daemon.addTenant(Meet);
+  Daemon.addTenant(Plain);
+
+  Daemon.startArbiter(Sim, sim::MSec);
+  Sim.runUntil(sim::MSec + sim::USec);
+  Daemon.stopArbiter();
+  ASSERT_FALSE(Daemon.sloTransfers().empty());
+  // Threads without an SLO attached are taken before squeezing a tenant
+  // that is merely meeting its own target.
+  EXPECT_EQ(Daemon.sloTransfers().front().From, "plain");
+  EXPECT_EQ(Daemon.sloTransfers().front().To, "viol");
+}
+
+//===----------------------------------------------------------------------===//
+// Percentile cache regression
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, PercentileCacheSortsOncePerMutation) {
+  SampleSet S;
+  for (int I = 100; I > 0; --I)
+    S.add(I);
+  EXPECT_EQ(S.sortsPerformed(), 0u);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 50.0);
+  EXPECT_EQ(S.sortsPerformed(), 1u);
+  // The serving layer polls p50/p95/p99 every arbiter tick: repeated
+  // queries between mutations must reuse the sorted view.
+  for (int I = 0; I < 50; ++I) {
+    S.percentile(50);
+    S.percentile(95);
+    S.percentile(99);
+  }
+  EXPECT_EQ(S.sortsPerformed(), 1u);
+
+  S.add(1000.0); // mutation invalidates the cache...
+  EXPECT_DOUBLE_EQ(S.percentile(100), 1000.0);
+  EXPECT_EQ(S.sortsPerformed(), 2u);
+
+  S.decimate(); // ...and so does decimation
+  S.percentile(95);
+  EXPECT_EQ(S.sortsPerformed(), 3u);
+  S.percentile(95);
+  EXPECT_EQ(S.sortsPerformed(), 3u);
+}
+
+TEST(Stats, HistogramExposesPercentileSorts) {
+  Histogram H;
+  for (int I = 0; I < 1000; ++I)
+    H.add(I);
+  H.p50();
+  H.p95();
+  H.p99();
+  EXPECT_EQ(H.percentileSorts(), 1u);
+  H.add(0.5);
+  H.p95();
+  EXPECT_EQ(H.percentileSorts(), 2u);
+}
+
+} // namespace
