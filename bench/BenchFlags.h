@@ -12,6 +12,12 @@
 /// bench can hand the remainder to its own parser — or to
 /// google-benchmark, which rejects flags it does not know.
 ///
+/// Unknown `--flags` are rejected with a usage message: a typo like
+/// `--sed=42` must not silently run the benchmark unseeded (determinism
+/// checks would compare two different runs and "pass" or "fail" at
+/// random). Benches declare their own extra flags via \p Extra;
+/// `--benchmark_*` passes through for google-benchmark mains.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARCAE_BENCH_BENCHFLAGS_H
@@ -20,8 +26,10 @@
 #include "support/Rng.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 
 namespace parcae::bench {
 
@@ -33,8 +41,11 @@ struct BenchFlags {
   const char *JsonPath = nullptr;
 
   /// Parses and strips the shared flags. \p Argc is updated to the
-  /// compacted count. Installs the seed via setDefaultSeed().
-  static BenchFlags parse(int &Argc, char **Argv) {
+  /// compacted count. Installs the seed via setDefaultSeed(). Any other
+  /// `--flag` not listed in \p Extra (and not `--benchmark_*`) aborts
+  /// with a usage message on stderr and exit code 2.
+  static BenchFlags parse(int &Argc, char **Argv,
+                          std::initializer_list<const char *> Extra = {}) {
     BenchFlags F;
     F.Seed = defaultSeed();
     auto Value = [&](const char *Flag, int &I, const char *&Out) {
@@ -51,6 +62,17 @@ struct BenchFlags {
       }
       return false;
     };
+    // A bench-declared flag matches exactly or as a `--flag=value` /
+    // `--flag value` head.
+    auto Known = [&](const char *Arg) {
+      for (const char *E : Extra) {
+        std::size_t N = std::strlen(E);
+        if (std::strncmp(Arg, E, N) == 0 &&
+            (Arg[N] == '\0' || Arg[N] == '='))
+          return true;
+      }
+      return std::strncmp(Arg, "--benchmark", 11) == 0;
+    };
     int Keep = 1;
     for (int I = 1; I < Argc; ++I) {
       const char *V = nullptr;
@@ -60,7 +82,17 @@ struct BenchFlags {
         F.TracePath = V;
       else if (Value("--json", I, V))
         F.JsonPath = V;
-      else
+      else if (Argv[I][0] == '-' && Argv[I][1] == '-' && Argv[I][2] != '\0' &&
+               !Known(Argv[I])) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", Argv[I]);
+        std::fprintf(stderr,
+                     "usage: %s [--seed N] [--trace FILE] [--json FILE]",
+                     Argv[0]);
+        for (const char *E : Extra)
+          std::fprintf(stderr, " [%s]", E);
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      } else
         Argv[Keep++] = Argv[I];
     }
     Argc = Keep;

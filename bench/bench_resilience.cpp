@@ -142,7 +142,8 @@ double us(sim::SimTime T) { return static_cast<double>(T) / sim::USec; }
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
+  bench::BenchFlags Flags =
+      bench::BenchFlags::parse(Argc, Argv, {"--burst", "--wedge"});
   telemetry::TraceFile Trace(Flags.TracePath);
   std::uint64_t Seed = Flags.Seed;
   bool Burst = false, Wedge = false;

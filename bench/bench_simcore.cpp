@@ -180,7 +180,7 @@ int main(int argc, char **argv) {
   // BenchFlags consumes --json (and --seed/--trace); only the
   // bench-specific flags remain for the loop below.
   parcae::bench::BenchFlags Flags =
-      parcae::bench::BenchFlags::parse(argc, argv);
+      parcae::bench::BenchFlags::parse(argc, argv, {"--events", "--timers"});
   const char *JsonPath = Flags.JsonPath;
   std::uint64_t TotalEvents = 2'000'000;
   std::uint64_t NumTimers = 64;

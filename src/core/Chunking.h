@@ -63,11 +63,36 @@ public:
   bool pinned() const { return Pinned; }
 
   /// Pause/drain entry point: collapse to the minimum so the drain
-  /// obligation is one iteration deep per worker.
+  /// obligation is one iteration deep per worker. The pre-collapse K is
+  /// remembered (lastLearned) so recovery and checkpoint/restore can
+  /// re-seed the policy instead of re-learning from 1.
   void degradeForPause() {
-    if (!Pinned)
-      K = P.MinK;
+    if (Pinned)
+      return;
+    if (K != P.MinK)
+      LastLearned = K;
+    K = P.MinK;
   }
+
+  /// Re-seeds K (clamped to [MinK, MaxK]); a no-op while pinned. Used
+  /// after recovery and on checkpoint restore so a region resumes with
+  /// the chunk size it had already learned.
+  void seed(std::uint64_t NewK) {
+    if (Pinned)
+      return;
+    K = std::clamp(NewK, P.MinK, P.MaxK);
+    if (K != P.MinK)
+      LastLearned = K;
+  }
+
+  /// Last K the policy learned before a degradeForPause collapsed it
+  /// (MinK until anything beyond the minimum was ever learned).
+  std::uint64_t lastLearned() const { return LastLearned; }
+
+  /// Forgets the learned K. The runner calls this when a new execution
+  /// starts under a scheme with no recorded K, so a value learned under
+  /// a *different* scheme is never misattributed to this one.
+  void forgetLearned() { LastLearned = P.MinK; }
 
   /// One tuning step from fresh measurements:
   ///  \p FixedOverhead  cycles of per-claim fixed cost (hooks, status
@@ -101,6 +126,7 @@ public:
 private:
   Params P;
   std::uint64_t K = 1;
+  std::uint64_t LastLearned = 1;
   bool Pinned = false;
   std::uint64_t PinnedK = 1;
 };

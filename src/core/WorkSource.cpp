@@ -26,13 +26,23 @@ WorkSource::Pull WorkSource::tryPullChunk(std::uint64_t Max,
   return Pull::Got;
 }
 
+void QueueWorkSource::evictHistory() {
+  while (History.size() > HistoryCap) {
+    History.pop_front();
+    ++HistoryEvictions;
+#if PARCAE_TELEMETRY_ENABLED
+    if (telemetry::TraceRecorder *Tel = telemetry::recorder())
+      Tel->metrics().counter("work_source.history_evictions").add();
+#endif
+  }
+}
+
 WorkSource::Pull QueueWorkSource::tryPull(Token &Out) {
   if (!Items.empty()) {
     Out = Items.front();
     Items.pop_front();
     History.push_back(Out);
-    if (History.size() > HistoryCap)
-      History.pop_front();
+    evictHistory();
     return Pull::Got;
   }
   return Closed ? Pull::End : Pull::Wait;
@@ -49,8 +59,7 @@ WorkSource::Pull QueueWorkSource::tryPullChunk(std::uint64_t Max,
     History.push_back(Items.front());
     Items.pop_front();
   }
-  while (History.size() > HistoryCap)
-    History.pop_front();
+  evictHistory();
   return Pull::Got;
 }
 
@@ -83,6 +92,28 @@ bool QueueWorkSource::push(Token Item) {
 void QueueWorkSource::close() {
   Closed = true;
   Ready.notifyAll();
+}
+
+bool QueueWorkSource::saveState(WorkSourceState &Out) const {
+  Out = WorkSourceState{};
+  Out.K = WorkSourceState::Kind::Queue;
+  Out.Total = Accepted;
+  Out.Cursor = Accepted - Items.size(); // items already pulled
+  Out.Pending.assign(Items.begin(), Items.end());
+  Out.Closed = Closed;
+  return true;
+}
+
+bool QueueWorkSource::restoreState(const WorkSourceState &S) {
+  if (S.K != WorkSourceState::Kind::Queue || Accepted != 0)
+    return false;
+  Items.assign(S.Pending.begin(), S.Pending.end());
+  Accepted = S.Total;
+  Closed = S.Closed;
+  History.clear();
+  if (!Items.empty() || Closed)
+    Ready.notifyAll();
+  return true;
 }
 
 WorkSource::Pull CountedWorkSource::tryPull(Token &Out) {

@@ -26,6 +26,20 @@
 
 namespace parcae::rt {
 
+/// Portable snapshot of a work source, captured at a quiesced point and
+/// replayed by restoreState() on a fresh source of the same kind —
+/// possibly on a different simulated machine. Pull history is *not*
+/// carried across a restore: a restored region starts replay exactly at
+/// the cursor, so there is nothing behind it to rewind into.
+struct WorkSourceState {
+  enum class Kind { Counted, Queue };
+  Kind K = Kind::Counted;
+  std::uint64_t Total = 0;  ///< Counted: N. Queue: items ever accepted.
+  std::uint64_t Cursor = 0; ///< Counted: next index. Queue: items pulled.
+  std::vector<Token> Pending; ///< Queue only: the unpulled tail, in order.
+  bool Closed = false;        ///< Queue only.
+};
+
 /// Abstract source of work items for a region's head task.
 class WorkSource {
 public:
@@ -36,6 +50,21 @@ public:
   };
 
   virtual ~WorkSource();
+
+  /// Captures the source's replayable state into \p Out. Returns false
+  /// when this source kind cannot be snapshotted (the default).
+  virtual bool saveState(WorkSourceState &Out) const {
+    (void)Out;
+    return false;
+  }
+
+  /// Re-seeds this source from a state captured by saveState() on a
+  /// source of the same kind. Returns false on a kind mismatch or when
+  /// this source has already been pulled from.
+  virtual bool restoreState(const WorkSourceState &S) {
+    (void)S;
+    return false;
+  }
 
   /// Attempts to pull the next item.
   virtual Pull tryPull(Token &Out) = 0;
@@ -75,6 +104,8 @@ public:
   sim::Waitable &readyEvent() override { return Ready; }
   double load() const override { return static_cast<double>(Items.size()); }
   bool rewind(std::uint64_t Count) override;
+  bool saveState(WorkSourceState &Out) const override;
+  bool restoreState(const WorkSourceState &S) override;
 
   /// Enqueues a work item. Returns false when the queue is full or
   /// closed (the item is dropped; the caller may count it as a rejected
@@ -91,11 +122,22 @@ public:
   /// Total items ever accepted.
   std::uint64_t accepted() const { return Accepted; }
 
+  /// Items dropped from the rewind history because HistoryCap forced a
+  /// pop_front. Non-zero means a rewind (or a checkpoint replay) deeper
+  /// than the cap would silently fail — the observability hook for that.
+  std::uint64_t historyEvictions() const { return HistoryEvictions; }
+
+  /// Deepest rewind the history can ever serve.
+  static constexpr std::size_t historyCap() { return HistoryCap; }
+
 private:
+  void evictHistory();
+
   std::size_t Capacity;
   std::deque<Token> Items;
   bool Closed = false;
   std::uint64_t Accepted = 0;
+  std::uint64_t HistoryEvictions = 0;
   sim::Waitable Ready;
   /// Recently pulled items, newest last, kept for rewind(). Bounded: a
   /// rewind deeper than the history fails (recovery drains instead).
@@ -114,6 +156,21 @@ public:
   sim::Waitable &readyEvent() override { return Ready; }
   double load() const override {
     return static_cast<double>(N - Next);
+  }
+  bool saveState(WorkSourceState &Out) const override {
+    Out = WorkSourceState{};
+    Out.K = WorkSourceState::Kind::Counted;
+    Out.Total = N;
+    Out.Cursor = Next;
+    return true;
+  }
+  bool restoreState(const WorkSourceState &S) override {
+    if (S.K != WorkSourceState::Kind::Counted || Next != 0)
+      return false;
+    N = S.Total;
+    Next = S.Cursor;
+    Ready.notifyAll();
+    return true;
   }
 
   std::uint64_t remaining() const { return N - Next; }

@@ -579,6 +579,150 @@ RegionExec::RestartResult RegionController::surgicalRestart(unsigned TaskIdx) {
   return R;
 }
 
+parcae::ckpt::ControllerMemory RegionController::exportMemory() const {
+  ckpt::ControllerMemory M;
+  M.SeqThroughput = Tseq;
+  M.Best = Best.C;
+  M.BestThr = Best.Thr;
+  M.Cache.reserve(Cache.size());
+  for (const CacheEntry &E : Cache)
+    M.Cache.push_back({E.Budget, E.C, E.Thr, E.Limited});
+  return M;
+}
+
+void RegionController::importMemory(const ckpt::ControllerMemory &M) {
+  Tseq = M.SeqThroughput;
+  Best = {M.Best, M.BestThr};
+  Cache.clear();
+  Cache.reserve(M.Cache.size());
+  for (const ckpt::ControllerMemory::CacheEntry &E : M.Cache)
+    Cache.push_back({E.Budget, E.C, E.Thr, E.Limited});
+}
+
+RegionConfig RegionController::resumeConfigFor(RegionConfig Preferred) {
+  for (const CacheEntry &E : Cache) {
+    if (E.Budget == Budget) {
+      Best = {E.C, E.Thr};
+      BudgetLimited = E.Limited;
+      return E.C;
+    }
+  }
+  // No cache entry for this budget: keep the scheme, shrink the widest
+  // tasks until the width schedule fits.
+  while (Preferred.totalThreads() > Budget) {
+    auto Widest = std::max_element(Preferred.DoP.begin(), Preferred.DoP.end());
+    if (*Widest <= 1)
+      break;
+    --*Widest;
+  }
+  if (Preferred.totalThreads() > Budget)
+    return Runner.region().unitConfig(Scheme::Seq);
+  return Preferred;
+}
+
+bool RegionController::checkpointTo(std::function<void(ckpt::RegionSnapshot)> Cb) {
+  if (!Started || St == CtrlState::Done || Runner.completed())
+    return false;
+  // Whatever measurement was in flight is meaningless across a
+  // migration; cancel it so no window straddles the suspension.
+  Measuring = false;
+  MarkPending = false;
+  WarmupAnchor = NoSeq;
+  return Runner.requestCheckpoint(
+      [this, Cb = std::move(Cb)](const RunnerCheckpoint *CP) {
+        if (!CP)
+          return; // completed during the drain: nothing to hand off
+        ckpt::RegionSnapshot S;
+        S.Region = Runner.region().name();
+        S.Cursor = CP->Cursor;
+        S.Retired = CP->Retired;
+        S.ChunkK = CP->ChunkK;
+        S.Config = CP->Config;
+        Runner.source().saveState(S.Source);
+        S.Ctrl = exportMemory();
+        PARCAE_TRACE(
+            Tel, instant(TelPid, telemetry::TidController, "ctrl",
+                         "checkpoint",
+                         {telemetry::TraceArg::num("cursor", CP->Cursor),
+                          telemetry::TraceArg::str("config",
+                                                   CP->Config.str())}));
+        // The region now lives in the snapshot; this controller is done
+        // and its machine may be torn down.
+        recordTrace(0);
+        transitionTo(CtrlState::Done);
+        Cb(std::move(S));
+      });
+}
+
+void RegionController::startFromSnapshot(unsigned ThreadBudget,
+                                         const ckpt::RegionSnapshot &S) {
+  assert(!Started && "controller already started");
+  assert(ThreadBudget >= 1 && "need at least one thread");
+  assert(S.Region == Runner.region().name() && "snapshot for another region");
+  Started = true;
+  Granted = ThreadBudget;
+  Budget = std::max(1u, std::min(ThreadBudget, OnlineCap));
+  importMemory(S.Ctrl);
+  // A fresh source rewinds to the snapshot cursor; a source the caller
+  // already positioned refuses, which is fine — the cursor governs
+  // replay either way.
+  (void)Runner.source().restoreState(S.Source);
+  Runner.chunkPolicy().seed(S.ChunkK);
+  RegionConfig C = resumeConfigFor(S.Config);
+  PARCAE_TRACE(Tel,
+               instant(TelPid, telemetry::TidController, "ctrl", "restore",
+                       {telemetry::TraceArg::num("cursor", S.Cursor),
+                        telemetry::TraceArg::str("config", C.str()),
+                        telemetry::TraceArg::num("budget", Budget)}));
+  Runner.start(C, S.Cursor);
+  // The snapshot carries the learned memory; skip INIT/CALIBRATE/OPTIMIZE
+  // and settle straight into passive monitoring.
+  enterMonitor();
+  scheduleTick();
+}
+
+bool RegionController::drainRestart(std::vector<unsigned> Cores,
+                                    std::function<void()> Done) {
+  if (!Started || St == CtrlState::Done || Runner.completed())
+    return false;
+  Measuring = false;
+  MarkPending = false;
+  WarmupAnchor = NoSeq;
+  PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidController, "ctrl",
+                            "drain_restart",
+                            {telemetry::TraceArg::num("cores", Cores.size())}));
+  return Runner.requestCheckpoint(
+      [this, Cores = std::move(Cores),
+       Done = std::move(Done)](const RunnerCheckpoint *CP) {
+        if (!CP) {
+          // Completed during the drain: nothing left to migrate.
+          if (Done)
+            Done();
+          return;
+        }
+        // Quiescent: the region holds no thread, so the doomed cores can
+        // be retired with nothing to strand.
+        sim::Machine &Mach = Runner.machine();
+        for (unsigned Core : Cores)
+          Mach.offlineCore(Core);
+        OnlineCap = std::max(1u, Mach.onlineCores());
+        Budget = std::max(1u, std::min(Granted, OnlineCap));
+        Runner.chunkPolicy().seed(CP->ChunkK);
+        RegionConfig C = resumeConfigFor(CP->Config);
+        PARCAE_TRACE(
+            Tel, instant(TelPid, telemetry::TidController, "ctrl", "migrate",
+                         {telemetry::TraceArg::num("cursor", CP->Cursor),
+                          telemetry::TraceArg::str("config", C.str()),
+                          telemetry::TraceArg::num("budget", Budget)}));
+        recordTrace(0);
+        Runner.resume(std::move(C), CP->Cursor);
+        enterMonitor();
+        scheduleTick();
+        if (Done)
+          Done();
+      });
+}
+
 void RegionController::setThreadBudget(unsigned N) {
   assert(N >= 1 && "need at least one thread");
   Granted = N;

@@ -27,6 +27,7 @@
 #ifndef PARCAE_MORTA_CONTROLLER_H
 #define PARCAE_MORTA_CONTROLLER_H
 
+#include "checkpoint/Snapshot.h"
 #include "decima/Monitor.h"
 #include "morta/RegionRunner.h"
 #include "sim/Simulator.h"
@@ -103,6 +104,40 @@ public:
   /// restart result.
   RegionExec::RestartResult surgicalRestart(unsigned TaskIdx);
 
+  // --- Checkpoint / restore / drain (src/checkpoint) -------------------
+
+  /// The controller's learned memory (sequential baseline, best config,
+  /// per-budget cache) in transferable form.
+  ckpt::ControllerMemory exportMemory() const;
+  void importMemory(const ckpt::ControllerMemory &M);
+
+  /// Quiesces the region, assembles a full RegionSnapshot (runner cursor
+  /// + work-source state + learned memory), transitions this controller
+  /// to Done (ticks stop; the region now lives in the snapshot) and fires
+  /// \p Cb. Any in-flight measurement is cancelled. If the region
+  /// completes before quiescing, the controller reaches Done through its
+  /// normal completion path and \p Cb never fires. Returns false when not
+  /// started, already done, or a checkpoint is already pending.
+  bool checkpointTo(std::function<void(ckpt::RegionSnapshot)> Cb);
+
+  /// Starts controlling a region restored from \p S: the work source is
+  /// rewound to the snapshot state, the chunk policy re-seeded, the
+  /// learned memory imported, and execution resumed at the snapshot
+  /// cursor under the cached configuration for the effective budget (the
+  /// snapshot config, fitted, when no cache entry matches). The
+  /// controller enters MONITOR directly — no INIT/CALIBRATE/OPTIMIZE
+  /// re-measurement. Requires a never-started controller and runner.
+  void startFromSnapshot(unsigned ThreadBudget, const ckpt::RegionSnapshot &S);
+
+  /// Proactive migration off \p Cores (a failure-domain warning):
+  /// checkpoints the region in place, offlines the doomed cores while
+  /// the region holds no thread, recomputes the effective budget, and
+  /// resumes on the survivors — zero aborted iterations, no
+  /// re-measurement. \p Done fires when the region is running again (or
+  /// when it completed during the drain). Returns false when the runner
+  /// refuses the checkpoint (completed / suspended / pending).
+  bool drainRestart(std::vector<unsigned> Cores, std::function<void()> Done);
+
   CtrlState state() const { return St; }
   unsigned threadBudget() const { return Budget; }
   /// The share last granted by start()/setThreadBudget(), before the
@@ -162,6 +197,11 @@ private:
   void stepOptimizeNextTask(double BaseThr);
   bool nextScheme();
   RegionConfig defaultConfigFor(Scheme S) const;
+  /// Picks the configuration to resume a restored/migrated region under:
+  /// the cache entry for the effective budget if one exists (updating
+  /// Best/BudgetLimited), else \p Preferred with its widest tasks shrunk
+  /// until it fits the budget.
+  RegionConfig resumeConfigFor(RegionConfig Preferred);
   std::vector<unsigned> parallelTasksByAscendingThroughput() const;
   unsigned dopUpperBound(unsigned TaskIdx) const;
   void recordTrace(double Thr);

@@ -20,20 +20,55 @@ RegionRunner::RegionRunner(sim::Machine &M, const RuntimeCosts &Costs,
 
 RegionRunner::~RegionRunner() = default;
 
-void RegionRunner::start(RegionConfig Initial) {
+void RegionRunner::start(RegionConfig Initial, std::uint64_t StartSeq) {
   assert(!Started && "runner already started");
   Started = true;
   Config = Initial;
-  beginExec(std::move(Initial), 0);
+  if (StartSeq > 0) {
+    // Restoring a checkpoint on a fresh runner: the cursor is also the
+    // retire base, so totalRetired() continues from the migrated run.
+    RetiredBase = StartSeq;
+    PARCAE_TRACE(Tel, instant(TelPid, telemetry::TidRunner, "runner",
+                              "restore",
+                              {telemetry::TraceArg::num(
+                                   "cursor", static_cast<double>(StartSeq)),
+                               telemetry::TraceArg::str("config",
+                                                        Initial.str())}));
+  }
+  beginExec(std::move(Initial), StartSeq);
+}
+
+void RegionRunner::noteLearnedK() {
+  std::uint64_t K = std::max(Chunking.current(), Chunking.lastLearned());
+  if (!Chunking.pinned() && K > Chunking.params().MinK)
+    LearnedK[Config.S] = K;
 }
 
 void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
+  // Chunk-aware resume: re-seed the learned K for the scheme about to
+  // run instead of re-learning from MinK after every pause or abort.
+  if (!Chunking.pinned()) {
+    auto It = LearnedK.find(C.S);
+    if (It != LearnedK.end()) {
+      Chunking.seed(It->second);
+      ++ChunkReseeds;
+      if (Tel)
+        Tel->metrics().counter("chunk.reseed").add();
+    } else {
+      Chunking.forgetLearned();
+    }
+  }
   Exec = std::make_unique<RegionExec>(M, Costs, Region.variant(C.S), Source,
                                       C, StartSeq);
   Exec->setChunkPolicy(&Chunking);
   Config = std::move(C);
   Exec->OnComplete = [this] {
     Completed = true;
+    // A checkpoint drain can race completion: the pause bound lies past
+    // the end of the source, so the region finishes instead of
+    // quiescing. Nothing is left to migrate — report the capture failed.
+    if (CheckpointDone)
+      dispatchCheckpointDone(/*Captured=*/false);
     if (OnComplete)
       OnComplete();
   };
@@ -46,7 +81,9 @@ void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
 }
 
 bool RegionRunner::reconfigure(RegionConfig Target) {
-  if (Completed || !Started)
+  // A suspended or checkpointing runner is owned by the checkpoint path:
+  // reshaping happens through resume()'s target configuration instead.
+  if (Completed || !Started || Suspended || CheckpointDone)
     return false;
   assert(Region.hasVariant(Target.S) && "unknown scheme for this region");
   assert(Target.DoP.size() == Region.variant(Target.S).numTasks() &&
@@ -89,6 +126,7 @@ bool RegionRunner::reconfigure(RegionConfig Target) {
 
 void RegionRunner::onQuiescent() {
   assert(Transitioning && "quiescent without a pending transition");
+  noteLearnedK();
   std::uint64_t StartSeq = Exec->nextSeq();
   RetiredBase += Exec->iterationsRetired();
   FaultsBase += Exec->faultsInjected();
@@ -96,6 +134,13 @@ void RegionRunner::onQuiescent() {
   // Keep the drained exec alive until the new one is constructed: workers
   // have fully exited, but the object owns the channel storage.
   Retiring = std::move(Exec);
+
+  if (CheckpointDone) {
+    // The drain was (or became) a checkpoint quiesce: suspend here
+    // instead of arming a resume.
+    completeCheckpoint(StartSeq);
+    return;
+  }
 
   // Section 7.3: with overlap, the optimization routine ran during the
   // drain, so only its remainder (if the drain was shorter) delays the
@@ -110,6 +155,12 @@ void RegionRunner::onQuiescent() {
 
 void RegionRunner::scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay) {
   M.sim().schedule(Delay, [this, StartSeq] {
+    if (CheckpointDone) {
+      // A checkpoint request landed inside the resume window: the region
+      // is already quiesced, so capture here instead of restarting.
+      completeCheckpoint(StartSeq);
+      return;
+    }
     Transitioning = false;
     Retiring.reset();
     if (Tel && TelOpenSpan) {
@@ -122,6 +173,94 @@ void RegionRunner::scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay) {
     if (OnReconfigured)
       OnReconfigured();
   });
+}
+
+bool RegionRunner::requestCheckpoint(
+    std::function<void(const RunnerCheckpoint *)> Done) {
+  assert(Done && "a checkpoint needs a completion callback");
+  if (Completed || !Started || Suspended || CheckpointDone)
+    return false;
+  // Capture the learned chunk size before the pause discipline collapses
+  // it to MinK (degradeForPause records it, but only transitions through
+  // a non-minimal K do; the live value is authoritative here).
+  CheckpointK = std::max(Chunking.current(), Chunking.lastLearned());
+  CheckpointAt = M.sim().now();
+  CheckpointDone = std::move(Done);
+  if (!Transitioning) {
+    assert(Exec && "a started, non-transitioning runner holds an execution");
+    Transitioning = true;
+    Pending = Config;
+    PauseRequestedAt = M.sim().now();
+    if (Tel) {
+      Tel->begin(TelPid, telemetry::TidRunner, "runner", "checkpoint_drain",
+                 {telemetry::TraceArg::str("config", Config.str())});
+      TelOpenSpan = "checkpoint_drain";
+    }
+    Exec->requestPause();
+  }
+  // Otherwise a pause/drain or resume window is already in flight; its
+  // quiesce (or armed resume) funnels into the checkpoint intercepts.
+  return true;
+}
+
+void RegionRunner::completeCheckpoint(std::uint64_t StartSeq) {
+  Transitioning = false;
+  Suspended = true;
+  ++Checkpoints;
+  LastCheckpoint.Cursor = StartSeq;
+  LastCheckpoint.Retired = RetiredBase;
+  LastCheckpoint.Config = Config;
+  LastCheckpoint.ChunkK = CheckpointK;
+  if (Tel) {
+    if (TelOpenSpan) {
+      Tel->end(TelPid, telemetry::TidRunner, "runner", TelOpenSpan);
+      TelOpenSpan = nullptr;
+    }
+    Tel->metrics().counter("runner." + Region.name() + ".checkpoints").add();
+    Tel->metrics()
+        .histogram("checkpoint.quiesce_latency_us")
+        .add(sim::toSeconds(M.sim().now() - CheckpointAt) * 1e6);
+    Tel->instant(TelPid, telemetry::TidRunner, "runner", "checkpoint",
+                 {telemetry::TraceArg::num("cursor",
+                                           static_cast<double>(StartSeq)),
+                  telemetry::TraceArg::num(
+                      "retired", static_cast<double>(RetiredBase)),
+                  telemetry::TraceArg::num(
+                      "chunk_k", static_cast<double>(CheckpointK)),
+                  telemetry::TraceArg::str("config", Config.str())});
+  }
+  dispatchCheckpointDone(/*Captured=*/true);
+}
+
+void RegionRunner::dispatchCheckpointDone(bool Captured) {
+  M.sim().schedule(0, [this, Captured] {
+    // The drained exec is only owed to live worker frames for the event
+    // that quiesced it; a suspended runner frees it now.
+    if (Suspended)
+      Retiring.reset();
+    if (!CheckpointDone)
+      return;
+    auto Done = std::move(CheckpointDone);
+    CheckpointDone = nullptr;
+    Done(Captured ? &LastCheckpoint : nullptr);
+  });
+}
+
+void RegionRunner::resume(RegionConfig C, std::uint64_t StartSeq) {
+  assert(Started && Suspended && "resume() needs a suspended runner");
+  assert(!Exec && "a suspended runner holds no execution");
+  Suspended = false;
+  Retiring.reset();
+  if (Tel) {
+    Tel->metrics()
+        .histogram("checkpoint.restore_latency_us")
+        .add(sim::toSeconds(M.sim().now() - CheckpointAt) * 1e6);
+    Tel->instant(TelPid, telemetry::TidRunner, "runner", "restore",
+                 {telemetry::TraceArg::num("cursor",
+                                           static_cast<double>(StartSeq)),
+                  telemetry::TraceArg::str("config", C.str())});
+  }
+  beginExec(std::move(C), StartSeq);
 }
 
 RegionExec::RestartResult RegionRunner::restartTask(unsigned TaskIdx) {
@@ -139,7 +278,7 @@ RegionExec::RestartResult RegionRunner::restartTask(unsigned TaskIdx) {
 }
 
 bool RegionRunner::recover(RegionConfig Target) {
-  if (Completed || !Started)
+  if (Completed || !Started || Suspended || CheckpointDone)
     return false;
   assert(Region.hasVariant(Target.S) && "unknown scheme for this region");
   assert(Target.DoP.size() == Region.variant(Target.S).numTasks() &&
@@ -177,6 +316,7 @@ bool RegionRunner::recover(RegionConfig Target) {
                                          static_cast<double>(InFlight))});
     TelOpenSpan = "recover";
   }
+  noteLearnedK();
   // Absolute, not cumulative: the frontier may be one ahead of the retire
   // counter when the abort lands between the tail's functor (side effect
   // durable, frontier advanced) and its IterDone (retire counted). The

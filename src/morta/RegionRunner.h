@@ -32,9 +32,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 
 namespace parcae::rt {
+
+/// The runner's transferable slice of a region checkpoint, captured at a
+/// quiesced point: the exactly-once cursor, the cumulative retire count,
+/// the configuration in force, and the learned chunk size.
+struct RunnerCheckpoint {
+  std::uint64_t Cursor = 0;  ///< next sequence number to execute
+  std::uint64_t Retired = 0; ///< totalRetired() (== Cursor when quiesced)
+  RegionConfig Config;
+  std::uint64_t ChunkK = 1;
+};
 
 /// Runs a FlexibleRegion, switching configurations on request.
 class RegionRunner {
@@ -45,8 +56,40 @@ public:
   RegionRunner(const RegionRunner &) = delete;
   RegionRunner &operator=(const RegionRunner &) = delete;
 
-  /// Launches execution under \p Initial.
-  void start(RegionConfig Initial);
+  /// Launches execution under \p Initial. A non-zero \p StartSeq resumes
+  /// a checkpointed region on a fresh runner (typically on a different
+  /// machine): iteration numbering and totalRetired() continue from the
+  /// checkpoint cursor, so downstream output stays exactly-once.
+  void start(RegionConfig Initial, std::uint64_t StartSeq = 0);
+
+  // --- Checkpoint / restore (src/checkpoint) ---------------------------
+
+  /// Requests a cooperative quiesce-and-suspend. The region drains under
+  /// the pause/give-back discipline (in-flight retired work is kept);
+  /// once quiescent the execution is torn down, the runner enters the
+  /// *suspended* state, and \p Done fires one event later with the
+  /// captured checkpoint. If the region completes before reaching the
+  /// pause bound, \p Done fires with nullptr instead (nothing left to
+  /// migrate). Piggybacks on an in-flight transition when one is already
+  /// draining. Returns false when the runner has completed, not started,
+  /// is already suspended, or a checkpoint is already pending.
+  bool requestCheckpoint(std::function<void(const RunnerCheckpoint *)> Done);
+
+  /// Resumes a suspended runner under \p C from \p StartSeq (normally the
+  /// checkpoint cursor) — possibly after the caller offlined cores or
+  /// otherwise reshaped the machine while the region held no thread.
+  void resume(RegionConfig C, std::uint64_t StartSeq);
+
+  /// True between a completed checkpoint and resume(): the region holds
+  /// no execution and consumes no cores.
+  bool suspended() const { return Suspended; }
+
+  /// Checkpoints captured over the runner's lifetime.
+  unsigned checkpoints() const { return Checkpoints; }
+
+  /// Chunk-policy re-seeds from a previously learned K (fresh executions
+  /// that skipped re-learning from K = MinK).
+  unsigned chunkReseeds() const { return ChunkReseeds; }
 
   /// Switches to \p Target. Asynchronous: in-flight iterations finish
   /// under the old configuration. Ignored if the region completed or a
@@ -128,6 +171,15 @@ private:
   /// Arms the delayed resume. Pending is read when the delay fires, so a
   /// reconfigure/recover landing inside the window still takes effect.
   void scheduleResume(std::uint64_t StartSeq, sim::SimTime Delay);
+  /// Records the outgoing execution's learned chunk K for its scheme.
+  void noteLearnedK();
+  /// The quiesced endpoint of requestCheckpoint(): captures the
+  /// checkpoint, suspends the runner, and defers Done one event.
+  void completeCheckpoint(std::uint64_t StartSeq);
+  /// Defers the pending checkpoint callback to a fresh simulator event
+  /// (the quiesce fires from inside worker code; the callback may tear
+  /// down or restart executions, which must not happen re-entrantly).
+  void dispatchCheckpointDone(bool Captured);
 
   sim::Machine &M;
   const RuntimeCosts &Costs;
@@ -142,11 +194,23 @@ private:
   bool Transitioning = false;
   bool Completed = false;
   bool Started = false;
+  bool Suspended = false;
   std::uint64_t RetiredBase = 0;
   unsigned Reconfigurations = 0;
   unsigned FullPauses = 0;
   unsigned Recoveries = 0;
   unsigned TaskRestarts = 0;
+  unsigned Checkpoints = 0;
+  unsigned ChunkReseeds = 0;
+  /// Pending checkpoint completion; non-null between requestCheckpoint()
+  /// and the deferred Done dispatch.
+  std::function<void(const RunnerCheckpoint *)> CheckpointDone;
+  RunnerCheckpoint LastCheckpoint;
+  sim::SimTime CheckpointAt = 0; ///< when the quiesce was requested
+  std::uint64_t CheckpointK = 1; ///< learned K captured pre-degrade
+  /// Last learned chunk K per scheme; beginExec re-seeds the policy from
+  /// this instead of re-learning from MinK (chunk-aware recovery).
+  std::map<Scheme, std::uint64_t> LearnedK;
   std::uint64_t FaultsBase = 0;
   std::uint64_t EscalationsBase = 0;
   sim::SimTime PauseRequestedAt = 0;

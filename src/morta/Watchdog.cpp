@@ -27,7 +27,50 @@ void Watchdog::start() {
   Runner.OnFaultEscalation = [this](unsigned TaskIdx) {
     onEscalation(TaskIdx);
   };
+  if (P.DrainOnWarning)
+    M.addDomainWarningListener(
+        [this](const sim::FailureDomainEvent &D) { onDomainWarning(D); });
   M.sim().schedule(P.Period, [this] { tick(); });
+}
+
+void Watchdog::onDomainWarning(const sim::FailureDomainEvent &D) {
+  if (Runner.completed() || Runner.suspended() || DrainActive)
+    return;
+  ++DrainsStarted;
+  DrainActive = true;
+  DrainWarnedAt = M.sim().now();
+  if (Tel) {
+    Tel->metrics().counter("watchdog.drains").add();
+    Tel->instant(TelPid, telemetry::TidWatchdog, "watchdog", "watchdog_drain",
+                 {telemetry::TraceArg::str("domain", D.Name),
+                  telemetry::TraceArg::num("cores", D.Cores.size()),
+                  telemetry::TraceArg::num("lead_us",
+                                           sim::toSeconds(D.Warning) * 1e6)});
+  }
+  bool Accepted = Ctrl.drainRestart(D.Cores, [this] {
+    DrainActive = false;
+    ++DrainsCompleted;
+    LastDrainLatency = M.sim().now() - DrainWarnedAt;
+    // The proactive offline is our own doing, not a failure to detect;
+    // and the drain window must not read as a progress stall.
+    KnownOnline = M.onlineCores();
+    LastRetired = Runner.totalRetired();
+    LastProgressAt = M.sim().now();
+    if (Tel) {
+      Tel->metrics()
+          .histogram("watchdog.drain_latency_us")
+          .add(sim::toSeconds(LastDrainLatency) * 1e6);
+      Tel->instant(
+          TelPid, telemetry::TidWatchdog, "watchdog", "watchdog_drain_done",
+          {telemetry::TraceArg::num("online", M.onlineCores()),
+           telemetry::TraceArg::num("latency_us",
+                                    sim::toSeconds(LastDrainLatency) * 1e6)});
+    }
+    if (OnDrainDone)
+      OnDrainDone();
+  });
+  if (!Accepted)
+    DrainActive = false;
 }
 
 void Watchdog::beginRecoveryClock(sim::SimTime FaultAt, bool Surgical) {

@@ -65,6 +65,11 @@ struct WatchdogParams {
   /// Blame is ambiguous — fall back to abortive recovery — when a second
   /// task's culprit is within this margin of the oldest one.
   sim::SimTime BlameMargin = 500 * sim::USec;
+  /// React to failure-domain *warnings* (sim/Faults.h lead time) by
+  /// proactively checkpointing the region and migrating it off the
+  /// doomed cores before they die — zero aborted work, versus the
+  /// reactive rescue + abort path when the domain fails unannounced.
+  bool DrainOnWarning = true;
 };
 
 /// Periodic liveness monitor driving Morta's recovery paths.
@@ -111,6 +116,15 @@ public:
   unsigned lastBlamedTask() const { return LastBlamedTask; }
   /// MTTR of the most recent completed *surgical* recovery.
   sim::SimTime lastSurgicalMttr() const { return LastSurgicalMttr; }
+  /// Proactive drains started on a failure-domain warning.
+  unsigned drainsStarted() const { return DrainsStarted; }
+  /// Drains that completed (region resumed on the survivors).
+  unsigned drainsCompleted() const { return DrainsCompleted; }
+  /// Warning-to-resumed latency of the most recent completed drain.
+  sim::SimTime lastDrainLatency() const { return LastDrainLatency; }
+
+  /// Fires when a proactive drain completed (bench/test hook).
+  std::function<void()> OnDrainDone;
 
   /// Fires right after a surgical restart was driven (bench/test hook:
   /// observe what the rest of the region retired during the repair).
@@ -125,6 +139,7 @@ public:
 private:
   void tick();
   void onEscalation(unsigned TaskIdx);
+  void onDomainWarning(const sim::FailureDomainEvent &D);
   /// Opens a recovery window clocked from \p FaultAt. Windows stack: a
   /// new fault during a running recovery gets its own window, so bursts
   /// are not folded into one MTTR sample.
@@ -169,6 +184,11 @@ private:
   sim::SimTime LastGrowthLatency = 0;
   sim::SimTime LastMttr = 0;
   sim::SimTime LastSurgicalMttr = 0;
+  unsigned DrainsStarted = 0;
+  unsigned DrainsCompleted = 0;
+  bool DrainActive = false;
+  sim::SimTime DrainWarnedAt = 0;
+  sim::SimTime LastDrainLatency = 0;
 
   // Telemetry (null when tracing is off).
   telemetry::TraceRecorder *Tel = nullptr;

@@ -75,11 +75,19 @@ ServeLoop::ServeLoop(sim::Machine &M, const rt::RuntimeCosts &Costs,
 #if PARCAE_TELEMETRY_ENABLED
   Tel = telemetry::recorder();
   if (Tel) {
+    TelPid = Tel->processFor("serve");
     CntAdmitted = &Tel->metrics().counter("serve.admitted");
     CntRejected = &Tel->metrics().counter("serve.rejected");
     CntShed = &Tel->metrics().counter("serve.shed");
+    CntMigrated = &Tel->metrics().counter("serve.migrations");
   }
 #endif
+  // Proactively migrate in-flight request regions off a failure domain
+  // when the machine announces it ahead of time. The listener outlives
+  // nothing: the loop and the machine share the benchmark's scope, and
+  // warnings only fire while the simulator runs.
+  M.addDomainWarningListener(
+      [this](const sim::FailureDomainEvent &D) { onDomainWarning(D); });
 }
 
 ServeLoop::~ServeLoop() {
@@ -173,6 +181,8 @@ unsigned ServeLoop::slotsFor(const ClassState &C) const {
 }
 
 void ServeLoop::pump(unsigned Idx) {
+  if (DrainActive)
+    return; // dispatch held: finishDrain() pumps every class
   ClassState &C = *Classes[Idx];
   while (C.Active.size() < slotsFor(C) && !C.Queue.empty()) {
     std::shared_ptr<ServeRequest> Req = std::move(C.Queue.front());
@@ -244,6 +254,78 @@ void ServeLoop::finish(unsigned Idx, InFlight *F) {
         pump(I);
     });
   }
+}
+
+void ServeLoop::onDomainWarning(const sim::FailureDomainEvent &D) {
+  if (DrainActive)
+    return;
+  DrainActive = true;
+  DrainStartAt = Sim.now();
+  DrainCores = D.Cores;
+  DrainMigrations.clear();
+  DrainPending = 0;
+  PARCAE_TRACE(
+      Tel, instant(TelPid, 0, "serve", "serve_drain",
+                   {telemetry::TraceArg::str("domain", D.Name),
+                    telemetry::TraceArg::num("cores", D.Cores.size())}));
+  // Checkpoint every in-flight request region. Suspended runners hold no
+  // thread, so once the last one quiesces the doomed cores are idle.
+  for (unsigned Idx = 0; Idx < Classes.size(); ++Idx) {
+    for (auto &FP : Classes[Idx]->Active) {
+      InFlight *F = FP.get();
+      bool Ok = F->Runner->requestCheckpoint(
+          [this, Idx, F](const rt::RunnerCheckpoint *CP) {
+            if (CP)
+              DrainMigrations.push_back({Idx, F, *CP});
+            // else: completed before quiescing — reaped normally.
+            assert(DrainPending > 0);
+            if (--DrainPending == 0)
+              finishDrain();
+          });
+      if (Ok)
+        ++DrainPending;
+    }
+  }
+  if (DrainPending == 0)
+    finishDrain();
+}
+
+void ServeLoop::finishDrain() {
+  // Everything is quiesced: retire the doomed cores with nothing running
+  // on them, then resume each suspended request where it left off.
+  for (unsigned Core : DrainCores)
+    M.offlineCore(Core);
+  for (MigratingRequest &Mg : DrainMigrations) {
+    Mg.F->Runner->resume(Mg.CP.Config, Mg.CP.Cursor);
+    ++Migrations;
+    if (CntMigrated)
+      CntMigrated->add();
+    PARCAE_TRACE(
+        Tel, instant(TelPid, 0, "serve", "migrate",
+                     {telemetry::TraceArg::str("class",
+                                               Classes[Mg.ClassIdx]->Desc.Name),
+                      telemetry::TraceArg::num("request", Mg.F->Req->Id),
+                      telemetry::TraceArg::num("cursor", Mg.CP.Cursor)}));
+  }
+  ++DrainsCompleted;
+  PARCAE_TRACE(
+      Tel,
+      instant(TelPid, 0, "serve", "serve_drain_done",
+              {telemetry::TraceArg::num("migrated", DrainMigrations.size()),
+               telemetry::TraceArg::num(
+                   "latency_us",
+                   sim::toSeconds(Sim.now() - DrainStartAt) * 1e6)}));
+#if PARCAE_TELEMETRY_ENABLED
+  if (Tel)
+    Tel->metrics()
+        .histogram("serve.drain_latency_us")
+        .add(sim::toSeconds(Sim.now() - DrainStartAt) * 1e6);
+#endif
+  DrainMigrations.clear();
+  DrainCores.clear();
+  DrainActive = false;
+  for (unsigned I = 0; I < Classes.size(); ++I)
+    pump(I);
 }
 
 void ServeLoop::finalize(unsigned Idx, const ServeRequest &R) {

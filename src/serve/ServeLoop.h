@@ -128,6 +128,17 @@ public:
   /// it to bucket requests into load phases by arrival time.
   std::function<void(const ServeRequest &)> OnRequestDone;
 
+  // --- Drain / migration (failure-domain warnings) ---------------------
+
+  /// In-flight request regions migrated off a doomed failure domain.
+  std::uint64_t migrations() const { return Migrations; }
+  /// Warning drains completed (all in-flight requests checkpointed,
+  /// doomed cores offlined, everything resumed on the survivors).
+  unsigned drainsCompleted() const { return DrainsCompleted; }
+  /// True between a domain warning and the migration completing; new
+  /// dispatches are held (arrivals still queue and admission still runs).
+  bool draining() const { return DrainActive; }
+
 private:
   class ClassTenant;
 
@@ -168,6 +179,10 @@ private:
   void finish(unsigned Idx, InFlight *F);
   void finalize(unsigned Idx, const ServeRequest &R);
   unsigned slotsFor(const ClassState &C) const;
+  void onDomainWarning(const sim::FailureDomainEvent &D);
+  /// Every in-flight request quiesced: offline the doomed cores, resume
+  /// each suspended runner on the survivors, release the dispatch hold.
+  void finishDrain();
 
   sim::Machine &M;
   sim::Simulator &Sim;
@@ -180,11 +195,30 @@ private:
   bool ReapScheduled = false;
   std::uint64_t NextId = 1;
 
+  // Drain state. While DrainActive, dispatch is held; suspended runners
+  // cannot complete, so the InFlight pointers collected here stay valid
+  // until finishDrain() resumes them (a runner that completes before
+  // quiescing reports a null checkpoint and is reaped normally).
+  struct MigratingRequest {
+    unsigned ClassIdx = 0;
+    InFlight *F = nullptr;
+    rt::RunnerCheckpoint CP;
+  };
+  bool DrainActive = false;
+  unsigned DrainPending = 0; ///< checkpoint callbacks outstanding
+  sim::SimTime DrainStartAt = 0;
+  std::vector<unsigned> DrainCores;
+  std::vector<MigratingRequest> DrainMigrations;
+  std::uint64_t Migrations = 0;
+  unsigned DrainsCompleted = 0;
+
   // Telemetry (null when tracing is off).
   telemetry::TraceRecorder *Tel = nullptr;
+  std::uint32_t TelPid = 0;
   telemetry::Counter *CntAdmitted = nullptr;
   telemetry::Counter *CntRejected = nullptr;
   telemetry::Counter *CntShed = nullptr;
+  telemetry::Counter *CntMigrated = nullptr;
 };
 
 } // namespace parcae::serve

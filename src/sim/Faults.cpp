@@ -20,9 +20,9 @@ void FaultPlan::addOffline(unsigned Core, SimTime At) {
 }
 
 void FaultPlan::addDomain(std::string Name, std::vector<unsigned> Cores,
-                          SimTime At, SimTime Downtime) {
+                          SimTime At, SimTime Downtime, SimTime Warning) {
   assert(!Cores.empty() && "a failure domain holds at least one core");
-  Domains.push_back({std::move(Name), std::move(Cores), At, Downtime});
+  Domains.push_back({std::move(Name), std::move(Cores), At, Downtime, Warning});
 }
 
 void FaultPlan::addRepair(unsigned Core, SimTime At) {
@@ -31,7 +31,7 @@ void FaultPlan::addRepair(unsigned Core, SimTime At) {
 
 void FaultPlan::scatterDomain(std::uint64_t Seed, std::string Name,
                               unsigned NumCores, unsigned Size, SimTime At,
-                              SimTime Downtime) {
+                              SimTime Downtime, SimTime Warning) {
   assert(Size >= 1 && Size <= NumCores && "domain size must fit the machine");
   // Partial Fisher-Yates over the core indices: the first Size entries are
   // a uniform distinct sample, fully determined by the seed.
@@ -44,7 +44,7 @@ void FaultPlan::scatterDomain(std::uint64_t Seed, std::string Name,
     std::swap(All[I], All[J]);
   }
   All.resize(Size);
-  addDomain(std::move(Name), std::move(All), At, Downtime);
+  addDomain(std::move(Name), std::move(All), At, Downtime, Warning);
 }
 
 std::size_t FaultPlan::numOfflineEvents() const {

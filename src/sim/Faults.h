@@ -61,12 +61,17 @@ struct OfflineFault {
 
 /// A correlated burst: every core of a named domain fails atomically at
 /// time At. Downtime == 0 models a permanent loss; otherwise the whole
-/// domain is repaired (cores re-onlined) at At + Downtime.
+/// domain is repaired (cores re-onlined) at At + Downtime. Warning > 0
+/// models an advance notice (a thermal alarm, a maintenance drain): the
+/// machine announces the doomed domain at At - Warning, giving the
+/// runtime a window to checkpoint and migrate regions off it instead of
+/// absorbing the abort.
 struct FailureDomainEvent {
   std::string Name;
   std::vector<unsigned> Cores;
   SimTime At = 0;
   SimTime Downtime = 0;
+  SimTime Warning = 0;
 };
 
 /// A single core re-onlining at time At (repairing an earlier offline).
@@ -109,9 +114,11 @@ public:
 
   /// Fails every core of \p Cores atomically at time \p At (a socket or
   /// rack event). With \p Downtime > 0 the domain is repaired — all its
-  /// cores re-onlined — at At + Downtime.
+  /// cores re-onlined — at At + Downtime. With \p Warning > 0 the machine
+  /// announces the event at At - Warning (clamped to time 0) via its
+  /// domain-warning listeners.
   void addDomain(std::string Name, std::vector<unsigned> Cores, SimTime At,
-                 SimTime Downtime = 0);
+                 SimTime Downtime = 0, SimTime Warning = 0);
 
   /// Re-onlines \p Core at time \p At (repairs an earlier offline).
   void addRepair(unsigned Core, SimTime At);
@@ -120,7 +127,8 @@ public:
   /// from [0, NumCores) using \p Seed — the seeded counterpart of
   /// addDomain, mirroring scatterTransients.
   void scatterDomain(std::uint64_t Seed, std::string Name, unsigned NumCores,
-                     unsigned Size, SimTime At, SimTime Downtime = 0);
+                     unsigned Size, SimTime At, SimTime Downtime = 0,
+                     SimTime Warning = 0);
 
   /// Makes the first \p FailCount attempts of (\p Task, \p Seq) fault.
   void addTransient(std::string Task, std::uint64_t Seq,

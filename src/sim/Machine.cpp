@@ -330,6 +330,22 @@ void Machine::installFaultPlan(FaultPlan NewPlan) {
       assert(Core < Cores.size() && "domain names a missing core");
     }
     Sim.scheduleAt(D.At, [this, &D] { offlineDomain(D); });
+    if (D.Warning > 0) {
+      SimTime WarnAt = D.Warning >= D.At ? 0 : D.At - D.Warning;
+      Sim.scheduleAt(WarnAt, [this, &D] {
+        if (Tel) {
+          Tel->metrics().counter("machine.faults.domain_warnings").add();
+          Tel->instant(TelPid, 0, "machine", "fault_domain_warning",
+                       {telemetry::TraceArg::str("domain", D.Name),
+                        telemetry::TraceArg::num(
+                            "cores", static_cast<double>(D.Cores.size())),
+                        telemetry::TraceArg::num(
+                            "lead_us", toSeconds(D.Warning) * 1e6)});
+        }
+        for (const auto &L : DomainWarningListeners)
+          L(D);
+      });
+    }
     if (D.Downtime > 0)
       Sim.scheduleAt(D.At + D.Downtime, [this, &D] {
         for (unsigned Core : D.Cores)

@@ -224,6 +224,15 @@ public:
   /// burst, one topology notification after the last member).
   void offlineDomain(const FailureDomainEvent &D);
 
+  /// Registers a listener fired when a failure domain with a Warning
+  /// lead time announces itself (at D.At - D.Warning): the runtime's
+  /// window to checkpoint and migrate regions off the doomed cores.
+  /// Listeners are multicast in registration order.
+  void addDomainWarningListener(
+      std::function<void(const FailureDomainEvent &)> L) {
+    DomainWarningListeners.push_back(std::move(L));
+  }
+
   /// Repairs a failed core: re-admits it into slice scheduling and the
   /// capacity counts. A no-op on a core that is already online.
   void onlineCore(unsigned CoreIdx);
@@ -329,6 +338,8 @@ private:
   SimTime LastOfflineAt = 0;
   SimTime LastOnlineAt = 0;
   std::optional<FaultPlan> Plan;
+  std::vector<std::function<void(const FailureDomainEvent &)>>
+      DomainWarningListeners;
   /// Wedges already consumed by takeWedge (each fires at most once).
   std::set<std::pair<std::string, std::uint64_t>> FiredWedges;
   bool InDispatch = false;

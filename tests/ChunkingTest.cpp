@@ -195,6 +195,42 @@ TEST(ChunkPolicy, DegradeForPauseDropsToMin) {
   EXPECT_EQ(P.current(), 1u);
 }
 
+TEST(ChunkPolicy, DegradeRecordsLearnedKAndSeedRestoresIt) {
+  ChunkPolicy P;
+  P.retune(/*FixedOverhead=*/400, /*ExecPerIter=*/1000, /*Pressure=*/0.0);
+  ASSERT_EQ(P.current(), 8u);
+  // The pause collapse remembers what was learned...
+  P.degradeForPause();
+  EXPECT_EQ(P.current(), 1u);
+  EXPECT_EQ(P.lastLearned(), 8u);
+  // ...so recovery / checkpoint restore re-seeds instead of re-learning.
+  P.seed(P.lastLearned());
+  EXPECT_EQ(P.current(), 8u);
+  // Seeding clamps to the legal range and itself counts as learned.
+  P.seed(1000);
+  EXPECT_EQ(P.current(), P.params().MaxK);
+  EXPECT_EQ(P.lastLearned(), P.params().MaxK);
+  // A degrade at MinK must not clobber the remembered K with 1.
+  P.degradeForPause();
+  P.degradeForPause();
+  EXPECT_EQ(P.lastLearned(), P.params().MaxK);
+}
+
+TEST(ChunkPolicy, ForgetLearnedResetsToMin) {
+  ChunkPolicy P;
+  EXPECT_EQ(P.lastLearned(), P.params().MinK) << "nothing learned yet";
+  P.seed(16);
+  ASSERT_EQ(P.lastLearned(), 16u);
+  // A scheme switch with no recorded K for the new scheme forgets, so a
+  // value learned under a different scheme is never misattributed.
+  P.forgetLearned();
+  EXPECT_EQ(P.lastLearned(), P.params().MinK);
+  // Pinned policies ignore seeding entirely.
+  P.pin(4);
+  P.seed(32);
+  EXPECT_EQ(P.current(), 4u);
+}
+
 TEST(ChunkPolicy, PinOverridesTuning) {
   ChunkPolicy P;
   P.pin(16);

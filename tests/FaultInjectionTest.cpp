@@ -557,6 +557,48 @@ TEST(FaultInjection, ScatterDomainIsDeterministic) {
   }
 }
 
+TEST(FaultInjection, DomainWarningFiresAtLeadTimeBeforeTheFault) {
+  // Warning > 0 announces the doomed domain at At - Warning, while its
+  // cores are all still online — the window the checkpoint drain uses.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 8);
+  sim::FaultPlan Plan;
+  Plan.addDomain("socket0", {2, 3}, /*At=*/2 * sim::MSec,
+                 /*Downtime=*/1 * sim::MSec, /*Warning=*/500 * sim::USec);
+  M.installFaultPlan(std::move(Plan));
+  std::vector<sim::SimTime> WarnedAt;
+  M.addDomainWarningListener([&](const sim::FailureDomainEvent &D) {
+    WarnedAt.push_back(Sim.now());
+    EXPECT_EQ(D.Name, "socket0");
+    EXPECT_EQ(D.Cores, (std::vector<unsigned>{2, 3}));
+    EXPECT_EQ(D.At, 2 * sim::MSec);
+    EXPECT_EQ(M.onlineCores(), 8u) << "warning must precede the offline";
+  });
+  Sim.run();
+  ASSERT_EQ(WarnedAt.size(), 1u);
+  EXPECT_EQ(WarnedAt[0], 2 * sim::MSec - 500 * sim::USec);
+  EXPECT_EQ(M.onlineCores(), 8u) << "domain repaired after its downtime";
+  EXPECT_EQ(M.repairsApplied(), 2u);
+}
+
+TEST(FaultInjection, DomainWarningLongerThanLeadClampsToTimeZero) {
+  // A warning reaching before t=0 is delivered immediately at t=0, not
+  // dropped (the listener still gets its — shortened — head start).
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  sim::FaultPlan Plan;
+  Plan.addDomain("early", {1}, /*At=*/1 * sim::MSec,
+                 /*Downtime=*/0, /*Warning=*/5 * sim::MSec);
+  M.installFaultPlan(std::move(Plan));
+  std::vector<sim::SimTime> WarnedAt;
+  M.addDomainWarningListener(
+      [&](const sim::FailureDomainEvent &) { WarnedAt.push_back(Sim.now()); });
+  Sim.run();
+  ASSERT_EQ(WarnedAt.size(), 1u);
+  EXPECT_EQ(WarnedAt[0], 0u);
+  EXPECT_EQ(M.onlineCores(), 3u);
+}
+
 TEST(FaultInjection, BudgetGrowsBackAfterRepair) {
   // The full grow-back spine: a domain burst takes three cores, the
   // watchdog shrinks the budget to the survivors, the repair returns
