@@ -10,7 +10,10 @@
 #     a serve drain, and cursor arithmetic;
 #   * bench_checkpoint end to end in all three modes (hot restart,
 #     warning drain, live serve migration);
-#   * bench_resilience end to end (the legacy mixed-fault scenario).
+#   * bench_resilience end to end (the legacy mixed-fault scenario);
+#   * bench_simcore in both event-queue modes (timing wheel and plain
+#     heap) on the mixed delay distribution — the tier-migration and
+#     bucket-drain pointer gymnastics under ASan/UBSan.
 #
 # Any sanitizer report makes the offending binary exit non-zero, which
 # fails the script. halt_on_error keeps the first report fatal rather
@@ -34,7 +37,8 @@ export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 build() {
   cmake -B "$BUILDDIR" -S "$SRCDIR" -DPARCAE_SANITIZE=ON >/dev/null &&
     cmake --build "$BUILDDIR" -j \
-      --target parcae_tests bench_checkpoint bench_resilience >/dev/null
+      --target parcae_tests bench_checkpoint bench_resilience \
+      bench_simcore >/dev/null
 }
 
 # An interrupted earlier run (e.g. a ctest timeout killing make mid-ar)
@@ -59,5 +63,11 @@ fi
   fail "bench_checkpoint --serve failed under sanitizers"
 "$BUILDDIR/bench/bench_resilience" --seed 42 >/dev/null ||
   fail "bench_resilience failed under sanitizers"
+"$BUILDDIR/bench/bench_simcore" --events 100000 --dist mixed \
+  --queue wheel >/dev/null ||
+  fail "bench_simcore --queue wheel failed under sanitizers"
+"$BUILDDIR/bench/bench_simcore" --events 100000 --dist mixed \
+  --queue heap >/dev/null ||
+  fail "bench_simcore --queue heap failed under sanitizers"
 
 echo "check_sanitize.sh: OK ($BUILDDIR)"

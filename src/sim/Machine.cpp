@@ -51,7 +51,14 @@ Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
 #endif
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // Surface the event-core tier split (ring/wheel/heap hits, spills) in
+  // the metrics dump. Done here, not in TraceFile's destructor: the
+  // machine is destroyed while its simulator is still alive, whereas the
+  // recorder outlives both.
+  if (Tel)
+    Tel->captureSimQueueMetrics(Sim);
+}
 
 SimThread *Machine::spawn(std::string Name, std::unique_ptr<ThreadBody> Body) {
   assert(Body && "spawn() requires a body");

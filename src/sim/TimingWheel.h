@@ -1,0 +1,196 @@
+//===- TimingWheel.h - Calendar-wheel tier of the event queue ---*- C++ -*-===//
+//
+// Part of the Parcae reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The near-future tier of the simulator's event queue: a power-of-2
+/// calendar wheel covering the horizon (Now, Now + span). Most machine
+/// slices land in the 1–64-cycle band, so absorbing that band here turns
+/// the dominant O(log n) heap sift into an O(1) amortized bucket append.
+///
+/// Layout. Bucket index is `At & (span - 1)`. Because only times with
+/// `At - Now < span` are accepted, the live times form one window of at
+/// most span consecutive instants, so *each bucket holds exactly one
+/// timestamp at a time* — a residue collision inside the horizon is
+/// impossible (asserted). Bucket membership is an intrusive singly linked
+/// list threaded through a side array indexed by the owning Simulator's
+/// slab slot id: insertion is a push-front, and no per-entry allocation
+/// ever happens once the node array has reached its high-water size.
+/// Occupancy is a bitmap of 64-bucket words, so finding the next due
+/// bucket is a ctz scan starting at the bucket of Now + 1 (circular
+/// order from there equals time order, precisely because every live time
+/// is within the horizon).
+///
+/// Determinism. Within a bucket all entries share one timestamp, so
+/// cross-tier (time, seq) order reduces to seq order: popBucket() sorts
+/// the bucket by wrap-safe 32-bit seq before the Simulator drains it and
+/// merges it against equal-time ring and heap entries. The sort is what
+/// lets heap spills migrate in (lower seq than direct inserts that
+/// arrived earlier in wall order) without perturbing replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARCAE_SIM_TIMINGWHEEL_H
+#define PARCAE_SIM_TIMINGWHEEL_H
+
+#include "sim/Time.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace parcae::sim {
+
+/// Single-level calendar wheel over a power-of-2 near-future horizon.
+/// Stores (seq, slot) entries; the timestamp is implied by the bucket.
+class TimingWheel {
+public:
+  /// One queued event: its schedule-order tiebreak and its slab slot.
+  struct Entry {
+    std::uint32_t Seq;
+    std::uint32_t Slot;
+  };
+
+  /// Default horizon: wide enough that machine slices, context-switch
+  /// quanta, and channel hops (tens to hundreds of cycles) all land in
+  /// the wheel, small enough that the bucket array stays cache-resident.
+  static constexpr std::size_t DefaultBuckets = 1024;
+
+  TimingWheel() { configure(DefaultBuckets); }
+
+  /// Re-sizes the horizon to \p Buckets (power of two in [16, 2^20]).
+  /// Only legal while the wheel is empty.
+  void configure(std::size_t Buckets) {
+    assert(Count == 0 && "cannot re-size a non-empty wheel");
+    assert(Buckets >= 16 && Buckets <= (std::size_t{1} << 20) &&
+           (Buckets & (Buckets - 1)) == 0 &&
+           "wheel span must be a power of two in [16, 2^20]");
+    Mask = Buckets - 1;
+    Heads.assign(Buckets, NoNode);
+    BucketAt.assign(Buckets, 0);
+    Occupied.assign(Buckets / 64, 0);
+  }
+
+  /// Number of buckets == horizon width in cycles.
+  std::size_t span() const { return Mask + 1; }
+  bool empty() const { return Count == 0; }
+  std::size_t size() const { return Count; }
+  /// Deepest bucket ever drained (instrumentation).
+  std::uint64_t maxDepth() const { return MaxDepth; }
+
+  /// True when an event at \p At belongs in the wheel given the current
+  /// clock: strictly future, strictly inside the horizon. Times at
+  /// exactly Now + span are excluded so an insert can never target the
+  /// bucket the Simulator is currently draining.
+  bool accepts(SimTime At, SimTime Now) const {
+    return At > Now && At - Now < span();
+  }
+
+  /// Pre-sizes the slot-indexed node array (steady state then never
+  /// allocates as long as the owning slab stays within \p Slots).
+  void reserveNodes(std::size_t Slots) {
+    if (Slots > Nodes.size())
+      Nodes.resize(Slots);
+  }
+
+  /// Inserts an event; \p At must satisfy accepts(At, Now). O(1).
+  void insert(SimTime At, std::uint32_t Seq, std::uint32_t Slot) {
+    std::size_t B = At & Mask;
+    if (Slot >= Nodes.size()) // grows in slab-chunk-sized steps
+      Nodes.resize(((static_cast<std::size_t>(Slot) >> 8) + 1) << 8);
+    if (!testBit(B)) {
+      setBit(B);
+      BucketAt[B] = At;
+      Heads[B] = NoNode;
+    }
+    assert(BucketAt[B] == At &&
+           "bucket residue collision inside the wheel horizon");
+    Nodes[Slot] = Node{Seq, Heads[B]};
+    Heads[B] = Slot;
+    ++Count;
+  }
+
+  /// Earliest queued timestamp, given the clock. Requires !empty().
+  /// O(span / 64) worst case; short-band traffic resolves in the first
+  /// word or two.
+  SimTime nextTime(SimTime Now) const {
+    assert(Count > 0 && "nextTime on an empty wheel");
+    std::size_t Start = (static_cast<std::size_t>(Now) + 1) & Mask;
+    std::size_t WI = Start >> 6;
+    std::uint64_t Word = Occupied[WI] & (~std::uint64_t{0} << (Start & 63));
+    // Circular scan from the bucket of Now + 1. On wrapping back into the
+    // first word, its low bits (buckets before Start: the latest times)
+    // are taken whole — the high bits were already seen empty.
+    while (!Word) {
+      WI = WI + 1 == Occupied.size() ? 0 : WI + 1;
+      Word = Occupied[WI];
+    }
+    std::size_t B =
+        (WI << 6) + static_cast<std::size_t>(__builtin_ctzll(Word));
+    return BucketAt[B];
+  }
+
+  /// Moves the whole bucket due at \p At into \p Out (cleared first),
+  /// sorted ascending by wrap-safe seq — i.e. in deterministic schedule
+  /// order. Amortized O(1) per event plus the sort of one bucket.
+  void popBucket(SimTime At, std::vector<Entry> &Out) {
+    Out.clear();
+    std::size_t B = At & Mask;
+    assert(testBit(B) && BucketAt[B] == At && "popping a bucket not due");
+    for (std::uint32_t N = Heads[B]; N != NoNode; N = Nodes[N].Next)
+      Out.push_back(Entry{Nodes[N].Seq, N});
+    clearBit(B);
+    Heads[B] = NoNode;
+    Count -= Out.size();
+    if (Out.size() > MaxDepth)
+      MaxDepth = Out.size();
+    // Push-front insertion reversed direct schedules, and heap spills
+    // migrated in with older seqs: restore (time, seq) order. Entries in
+    // one bucket are always far fewer than 2^31 schedules apart, so the
+    // signed-difference compare is a total order despite seq wrap.
+    std::sort(Out.begin(), Out.end(), [](const Entry &A, const Entry &B2) {
+      return static_cast<std::int32_t>(A.Seq - B2.Seq) < 0;
+    });
+  }
+
+  /// Appends (without removing) the entries of the bucket due at \p At —
+  /// diagnostics only (livelock abort message).
+  void collectBucket(SimTime At, std::vector<Entry> &Out) const {
+    std::size_t B = At & Mask;
+    if (!testBit(B) || BucketAt[B] != At)
+      return;
+    for (std::uint32_t N = Heads[B]; N != NoNode; N = Nodes[N].Next)
+      Out.push_back(Entry{Nodes[N].Seq, N});
+  }
+
+private:
+  static constexpr std::uint32_t NoNode = ~std::uint32_t{0};
+  /// Intrusive list node, indexed by slab slot id.
+  struct Node {
+    std::uint32_t Seq;
+    std::uint32_t Next;
+  };
+
+  bool testBit(std::size_t B) const {
+    return (Occupied[B >> 6] >> (B & 63)) & 1;
+  }
+  void setBit(std::size_t B) { Occupied[B >> 6] |= std::uint64_t{1} << (B & 63); }
+  void clearBit(std::size_t B) {
+    Occupied[B >> 6] &= ~(std::uint64_t{1} << (B & 63));
+  }
+
+  std::size_t Mask = 0;
+  std::size_t Count = 0;
+  std::uint64_t MaxDepth = 0;
+  std::vector<std::uint32_t> Heads; ///< per-bucket list head (slot id)
+  std::vector<SimTime> BucketAt;    ///< timestamp occupying each bucket
+  std::vector<std::uint64_t> Occupied; ///< bucket-occupancy bitmap
+  std::vector<Node> Nodes;             ///< slot-indexed links
+};
+
+} // namespace parcae::sim
+
+#endif // PARCAE_SIM_TIMINGWHEEL_H

@@ -146,6 +146,34 @@ TEST(Metrics, CountersGaugesHistograms) {
   EXPECT_NE(Text.find("histogram h"), std::string::npos);
 }
 
+TEST(Metrics, MachineTeardownCapturesSimQueueGauges) {
+  // Machine's destructor snapshots the simulator's event-queue tier
+  // counters into sim.queue.* gauges (it runs while the simulator is
+  // still alive; TraceFile's destructor does not).
+  TraceRecorder Rec;
+  ScopedRecorder Scope(&Rec);
+  sim::Simulator Sim;
+  Rec.bindClock(Sim);
+  {
+    sim::Machine M(Sim, 2);
+    for (int I = 1; I <= 5; ++I)
+      Sim.schedule(static_cast<sim::SimTime>(I) * 10, [] {});
+    Sim.run();
+  }
+  MetricsSnapshot S = Rec.metrics().snapshot(Sim.now());
+  bool SawHits = false, SawSpan = false;
+  for (const MetricRow &Row : S.Rows) {
+    if (Row.Name == "sim.queue.wheel_hits")
+      SawHits = true;
+    if (Row.Name == "sim.queue.wheel_span") {
+      SawSpan = true;
+      EXPECT_DOUBLE_EQ(Row.Value, 1024.0);
+    }
+  }
+  EXPECT_TRUE(SawHits);
+  EXPECT_TRUE(SawSpan);
+}
+
 TEST(ChromeTrace, ExportParsesBackWithRequiredKeys) {
   sim::Simulator Sim;
   TraceRecorder R;
