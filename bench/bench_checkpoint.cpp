@@ -424,8 +424,8 @@ int runServe(std::uint64_t Seed) {
 
   std::uint64_t CompletedBeforeWarn = 0, CompletedAfterResume = 0;
   Serve.OnRequestDone = [&](const ServeRequest &R) {
-    if (R.Shed)
-      return;
+    if (R.Shed || R.Rejected)
+      return; // rejected requests have no CompletedAt to bucket
     if (R.CompletedAt < WarnAtDomain - 5 * sim::MSec)
       ++CompletedBeforeWarn;
     else if (R.CompletedAt > WarnAtDomain)

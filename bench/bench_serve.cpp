@@ -23,6 +23,13 @@
 // seeded and virtual-time-driven: the same --seed gives byte-identical
 // output (scripts/check_serve.sh asserts this over a seed sweep).
 //
+// --batch runs the same seeded scenario twice — unbatched baseline, then
+// with per-class BatchPolicy coalescing — and reports the goodput speedup
+// and region spin-up amortization side by side, with per-request latency
+// percentiles attributed from inside the batches (never per-batch
+// numbers). scripts/check_serve.sh batch gates the speedup and the
+// batched run's determinism.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchFlags.h"
@@ -32,6 +39,7 @@
 #include "telemetry/ChromeTrace.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,9 +51,13 @@ using namespace parcae::serve;
 namespace {
 
 /// A single-stage DOANY service region: every iteration costs a fixed
-/// number of cycles. Reuses \p Name across requests so telemetry keeps
-/// one process track per class.
-FlexibleRegion makeServiceRegion(const char *Name, sim::SimTime CostPerIter) {
+/// number of cycles, and each worker pays \p ContextLoad once at launch
+/// (Tinit: loading the request's context/model state — the per-region
+/// cold-start that batching amortizes across member requests). Reuses
+/// \p Name across requests so telemetry keeps one process track per
+/// class.
+FlexibleRegion makeServiceRegion(const char *Name, sim::SimTime CostPerIter,
+                                 sim::SimTime ContextLoad) {
   FlexibleRegion R(Name);
   RegionDesc D;
   D.Name = std::string(Name) + "-par";
@@ -54,6 +66,7 @@ FlexibleRegion makeServiceRegion(const char *Name, sim::SimTime CostPerIter) {
                        [CostPerIter](IterationContext &Ctx) {
                          Ctx.Cost = CostPerIter;
                        });
+  D.Tasks.back().InitCost = ContextLoad;
   R.addVariant(std::move(D));
   return R;
 }
@@ -90,22 +103,41 @@ struct Snapshot {
 
 double ms(sim::SimTime T) { return static_cast<double>(T) / sim::MSec; }
 
-} // namespace
+/// Everything one scenario run produces that the A/B report (and the
+/// JSON emitter) needs after the simulator is gone.
+struct ScenarioOut {
+  Bucket Buckets[2][NumPhases];
+  Snapshot Snaps[2][NumPhases];
+  std::size_t TransferCount = 0;
+  std::uint64_t ToApi = 0;
+  BatchStats BStats[2]; ///< per class; singletons count as batches of 1
+  bool Ok = true;       ///< the unbatched verdict (SERVE: OK)
+  bool UnderViol = false;
+  bool Drained = false;
+};
 
-int main(int Argc, char **Argv) {
-  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv);
-  telemetry::TraceFile Trace(Flags.TracePath);
-  std::uint64_t Seed = Flags.Seed;
-
+/// One full three-phase run. \p Batched switches the per-class
+/// BatchPolicy on; everything else — seeds, machine, load — is
+/// identical, so an unbatched/batched pair is a true A/B at equal seeds.
+/// Prints the header, per-phase table, and SLO timeline; the SERVE
+/// verdict is printed (and enforced) only for the unbatched baseline,
+/// whose load story it describes.
+ScenarioOut runScenario(std::uint64_t Seed, bool Batched) {
   std::printf("== Serve: open-loop serving, 2 classes on a 16-core machine"
               " (seed=%llu) ==\n",
               static_cast<unsigned long long>(Seed));
-  std::printf("   api:   32 x 60k-cycle DoAny@2, SLO p95 <= 10.0 ms,"
+  std::printf("   api:   32 x 60k-cycle DoAny@2 + 0.5 ms context load, SLO p95 <="
+              " 10.0 ms,"
               " deadline-early-drop, queue 512\n");
-  std::printf("   batch: 64 x 150k-cycle DoAny@2, SLO p95 <= 60.0 ms,"
+  std::printf("   batch: 64 x 150k-cycle DoAny@2 + 0.5 ms context load, SLO p95 <="
+              " 60.0 ms,"
               " drop-tail, queue 256\n");
   std::printf("   load:  api 1500/s -> 8000/s -> 1500/s (300 ms phases);"
-              " batch steady 300/s\n\n");
+              " batch steady 300/s\n");
+  if (Batched)
+    std::printf("   batching: api max 8 / 2.0 ms window, batch max 4 /"
+                " 10.0 ms window, slo-close at 0.5 x target\n");
+  std::printf("\n");
 
   sim::Simulator Sim;
   sim::Machine M(Sim, 16);
@@ -116,7 +148,7 @@ int main(int Argc, char **Argv) {
   RequestClassDesc Api;
   Api.Name = "api";
   Api.MakeRegion = [](const ServeRequest &) {
-    return makeServiceRegion("api", 60000);
+    return makeServiceRegion("api", 60000, 500 * sim::USec);
   };
   Api.ItersPerRequest = 32;
   Api.Config = {Scheme::DoAny, {2}};
@@ -126,22 +158,29 @@ int main(int Argc, char **Argv) {
   // under overload latency saturates near the target (instead of growing
   // without bound) while excess arrivals are dropped.
   Api.Policy = std::make_unique<DeadlineEarlyDrop>(10 * sim::MSec);
+  if (Batched)
+    Api.Batch = {8, 2 * sim::MSec, 0.5};
   unsigned ApiIdx = Serve.addClass(std::move(Api));
 
   RequestClassDesc Batch;
   Batch.Name = "batch";
   Batch.MakeRegion = [](const ServeRequest &) {
-    return makeServiceRegion("batch", 150000);
+    return makeServiceRegion("batch", 150000, 500 * sim::USec);
   };
   Batch.ItersPerRequest = 64;
   Batch.Config = {Scheme::DoAny, {2}};
   Batch.QueueCapacity = 256;
   Batch.Slo = {95.0, 60 * sim::MSec};
+  if (Batched)
+    Batch.Batch = {4, 10 * sim::MSec, 0.5};
   unsigned BatchIdx = Serve.addClass(std::move(Batch));
   const unsigned ClassIdx[2] = {ApiIdx, BatchIdx};
 
-  Bucket Buckets[2][NumPhases];
+  ScenarioOut Out;
+  auto &Buckets = Out.Buckets;
   Serve.OnRequestDone = [&](const ServeRequest &R) {
+    if (R.Rejected)
+      return; // refused at arrival: counted via the Rejected snapshots
     int Cls = R.ClassIdx == ApiIdx ? 0 : 1;
     Bucket &B = Buckets[Cls][phaseOf(R.ArrivedAt)];
     if (R.Shed) {
@@ -157,7 +196,7 @@ int main(int Argc, char **Argv) {
 
   // Boundary snapshots of the arrival-side counters and budgets:
   // Snaps[c][p] holds class c's cumulative counts at the END of phase p.
-  Snapshot Snaps[2][NumPhases];
+  auto &Snaps = Out.Snaps;
   for (int P = 0; P < NumPhases; ++P) {
     Sim.schedule(static_cast<sim::SimTime>(P + 1) * PhaseLen, [&, P] {
       for (int Cls = 0; Cls < 2; ++Cls) {
@@ -248,7 +287,20 @@ int main(int Argc, char **Argv) {
               Serve.inService(ApiIdx), Serve.queueDepth(BatchIdx),
               Serve.inService(BatchIdx));
 
-  // --- Verdict ---------------------------------------------------------
+  Out.TransferCount = Transfers.size();
+  Out.ToApi = ToApi;
+  Out.BStats[0] = Serve.batchStats(ApiIdx);
+  Out.BStats[1] = Serve.batchStats(BatchIdx);
+  Out.UnderViol =
+      Buckets[0][0].Violations != 0 || Buckets[1][0].Violations != 0;
+  Out.Drained = Serve.queueDepth(ApiIdx) == 0 && Serve.inService(ApiIdx) == 0 &&
+                Serve.queueDepth(BatchIdx) == 0 &&
+                Serve.inService(BatchIdx) == 0;
+
+  if (Batched)
+    return Out; // the A/B report carries the batched verdict
+
+  // --- Verdict (unbatched baseline) ------------------------------------
   bool Ok = true;
   auto Check = [&](bool Cond, const char *Msg) {
     if (!Cond) {
@@ -256,8 +308,7 @@ int main(int Argc, char **Argv) {
       std::printf("   CHECK FAIL: %s\n", Msg);
     }
   };
-  Check(Buckets[0][0].Violations == 0 && Buckets[1][0].Violations == 0,
-        "SLO violations in the under-load phase");
+  Check(!Out.UnderViol, "SLO violations in the under-load phase");
   std::uint64_t OverloadDropped =
       Buckets[0][1].Shed + (Snaps[0][1].Rejected - Snaps[0][0].Rejected);
   Check(OverloadDropped > 0, "overload phase shed no load");
@@ -265,11 +316,79 @@ int main(int Argc, char **Argv) {
             0.8 * Buckets[0][0].goodputPerSec(),
         "overload goodput collapsed below 80% of under-load");
   Check(ToApi > 0, "no SLO-driven budget transfer toward the api class");
-  Check(Serve.queueDepth(ApiIdx) == 0 && Serve.inService(ApiIdx) == 0 &&
-            Serve.queueDepth(BatchIdx) == 0 &&
-            Serve.inService(BatchIdx) == 0,
-        "run did not drain");
+  Check(Out.Drained, "run did not drain");
   std::printf("SERVE: %s\n", Ok ? "OK" : "FAIL");
+  Out.Ok = Ok;
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bench::BenchFlags Flags = bench::BenchFlags::parse(Argc, Argv, {"--batch"});
+  bool BatchMode = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--batch") == 0)
+      BatchMode = true;
+  telemetry::TraceFile Trace(Flags.TracePath);
+  std::uint64_t Seed = Flags.Seed;
+
+  ScenarioOut A = runScenario(Seed, /*Batched=*/false);
+  bool Ok = A.Ok;
+
+  ScenarioOut B;
+  double Speedup = 0.0;
+  bool BatchOk = true;
+  if (BatchMode) {
+    std::printf("=== A/B: same seed rerun with batched dispatch ===\n\n");
+    B = runScenario(Seed, /*Batched=*/true);
+
+    // --- Spin-up amortization + close-trigger report -------------------
+    const char *Names[2] = {"api", "batch"};
+    for (int Cls = 0; Cls < 2; ++Cls) {
+      const BatchStats &U = A.BStats[Cls], &Bt = B.BStats[Cls];
+      std::printf("   %-5s regions: %llu -> %llu (%.2f req/region;"
+                  " closes size %llu timer %llu slo %llu; occupancy mean"
+                  " %.2f max %.0f)\n",
+                  Names[Cls], static_cast<unsigned long long>(U.Batches),
+                  static_cast<unsigned long long>(Bt.Batches),
+                  Bt.requestsPerRegion(),
+                  static_cast<unsigned long long>(Bt.SizeCloses),
+                  static_cast<unsigned long long>(Bt.TimerCloses),
+                  static_cast<unsigned long long>(Bt.SloCloses),
+                  Bt.OccupancyH.mean(), Bt.OccupancyH.max());
+    }
+    // Per-request latency attributed from inside the batches: the p95 a
+    // member experienced, not the p95 of whole-batch turnaround.
+    std::printf("   api overload per-request p95: %.2f ms -> %.2f ms"
+                " (batched, watermark-attributed)\n",
+                A.Buckets[0][1].TotalMs.percentile(95),
+                B.Buckets[0][1].TotalMs.percentile(95));
+    Speedup = A.Buckets[0][1].goodputPerSec() > 0
+                  ? B.Buckets[0][1].goodputPerSec() /
+                        A.Buckets[0][1].goodputPerSec()
+                  : 0.0;
+    std::printf("   batch goodput speedup: %.2fx (api overload %.1f ->"
+                " %.1f req/s)\n",
+                Speedup, A.Buckets[0][1].goodputPerSec(),
+                B.Buckets[0][1].goodputPerSec());
+
+    auto BCheck = [&](bool Cond, const char *Msg) {
+      if (!Cond) {
+        BatchOk = false;
+        std::printf("   BATCH CHECK FAIL: %s\n", Msg);
+      }
+    };
+    BCheck(Speedup >= 1.3, "batched overload goodput below 1.3x baseline");
+    BCheck(!B.UnderViol, "batched run has under-load SLO violations");
+    BCheck(B.Drained, "batched run did not drain");
+    BCheck(B.BStats[0].requestsPerRegion() > 1.5,
+           "api batches did not amortize region spin-up");
+    BCheck(B.Buckets[0][1].TotalMs.count() == B.Buckets[0][1].Completed,
+           "per-request latency samples missing inside batches");
+    std::printf("BATCH: %s\n", BatchOk ? "OK" : "FAIL");
+    Ok = Ok && BatchOk;
+  }
 
   if (Flags.JsonPath) {
     std::FILE *J = std::fopen(Flags.JsonPath, "w");
@@ -284,22 +403,48 @@ int main(int Argc, char **Argv) {
       std::fprintf(J, "    {\"name\": \"%s\", \"phases\": [\n",
                    Cls == 0 ? "api" : "batch");
       for (int P = 0; P < NumPhases; ++P) {
-        const Bucket &B = Buckets[Cls][P];
+        const Bucket &Bk = A.Buckets[Cls][P];
         std::fprintf(
             J,
             "      {\"name\": \"%s\", \"completed\": %llu, \"shed\": %llu,"
             " \"goodput_per_sec\": %.1f, \"p95_ms\": %.3f,"
             " \"violations\": %llu}%s\n",
-            PhaseNames[P], static_cast<unsigned long long>(B.Completed),
-            static_cast<unsigned long long>(B.Shed), B.goodputPerSec(),
-            B.TotalMs.percentile(95),
-            static_cast<unsigned long long>(B.Violations),
+            PhaseNames[P], static_cast<unsigned long long>(Bk.Completed),
+            static_cast<unsigned long long>(Bk.Shed), Bk.goodputPerSec(),
+            Bk.TotalMs.percentile(95),
+            static_cast<unsigned long long>(Bk.Violations),
             P + 1 < NumPhases ? "," : "");
       }
       std::fprintf(J, "    ]}%s\n", Cls == 0 ? "," : "");
     }
-    std::fprintf(J, "  ],\n  \"slo_transfers\": %zu,\n  \"ok\": %s\n}\n",
-                 Transfers.size(), Ok ? "true" : "false");
+    std::fprintf(J, "  ],\n  \"slo_transfers\": %zu,\n", A.TransferCount);
+    if (BatchMode) {
+      std::fprintf(J,
+                   "  \"batch\": {\"speedup_overload_api\": %.3f,"
+                   " \"classes\": [\n",
+                   Speedup);
+      const char *Names[2] = {"api", "batch"};
+      for (int Cls = 0; Cls < 2; ++Cls) {
+        const BatchStats &Bt = B.BStats[Cls];
+        std::fprintf(
+            J,
+            "    {\"name\": \"%s\", \"batches\": %llu,"
+            " \"requests_per_region\": %.3f, \"size_closes\": %llu,"
+            " \"timer_closes\": %llu, \"slo_closes\": %llu,"
+            " \"overload_goodput_per_sec\": %.1f,"
+            " \"overload_p95_ms\": %.3f}%s\n",
+            Names[Cls], static_cast<unsigned long long>(Bt.Batches),
+            Bt.requestsPerRegion(),
+            static_cast<unsigned long long>(Bt.SizeCloses),
+            static_cast<unsigned long long>(Bt.TimerCloses),
+            static_cast<unsigned long long>(Bt.SloCloses),
+            B.Buckets[Cls][1].goodputPerSec(),
+            B.Buckets[Cls][1].TotalMs.percentile(95),
+            Cls == 0 ? "," : "");
+      }
+      std::fprintf(J, "  ]},\n");
+    }
+    std::fprintf(J, "  \"ok\": %s\n}\n", Ok ? "true" : "false");
     std::fclose(J);
   }
   return Ok ? 0 : 1;

@@ -24,7 +24,9 @@ mkdir -p "$OUTDIR"
 # Modest event count: enough for a stable rate, small enough for CI.
 "$BINDIR/bench_simcore" --events 500000 --json "$OUTDIR/BENCH_simcore.json"
 "$BINDIR/bench_overheads" --json "$OUTDIR/BENCH_overheads.json"
-"$BINDIR/bench_serve" --json "$OUTDIR/BENCH_serve.json" >/dev/null
+# --batch adds the batched-dispatch A/B fields (speedup, close triggers,
+# spin-up amortization) alongside the legacy per-phase summary.
+"$BINDIR/bench_serve" --batch --json "$OUTDIR/BENCH_serve.json" >/dev/null
 
 echo "bench_json.sh: wrote $OUTDIR/BENCH_simcore.json"
 echo "bench_json.sh: wrote $OUTDIR/BENCH_overheads.json"

@@ -11,6 +11,9 @@
 #   * bench_checkpoint end to end in all three modes (hot restart,
 #     warning drain, live serve migration);
 #   * bench_resilience end to end (the legacy mixed-fault scenario);
+#   * bench_serve --batch end to end — the batched-dispatch A/B, whose
+#     watermark attribution and batch reap/drain paths juggle member
+#     request pointers inside runner callbacks;
 #   * bench_simcore in both event-queue modes (timing wheel and plain
 #     heap) on the mixed delay distribution — the tier-migration and
 #     bucket-drain pointer gymnastics under ASan/UBSan.
@@ -38,7 +41,7 @@ build() {
   cmake -B "$BUILDDIR" -S "$SRCDIR" -DPARCAE_SANITIZE=ON >/dev/null &&
     cmake --build "$BUILDDIR" -j \
       --target parcae_tests bench_checkpoint bench_resilience \
-      bench_simcore >/dev/null
+      bench_serve bench_simcore >/dev/null
 }
 
 # An interrupted earlier run (e.g. a ctest timeout killing make mid-ar)
@@ -63,6 +66,8 @@ fi
   fail "bench_checkpoint --serve failed under sanitizers"
 "$BUILDDIR/bench/bench_resilience" --seed 42 >/dev/null ||
   fail "bench_resilience failed under sanitizers"
+"$BUILDDIR/bench/bench_serve" --seed 42 --batch >/dev/null ||
+  fail "bench_serve --batch failed under sanitizers"
 "$BUILDDIR/bench/bench_simcore" --events 100000 --dist mixed \
   --queue wheel >/dev/null ||
   fail "bench_simcore --queue wheel failed under sanitizers"

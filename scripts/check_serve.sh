@@ -16,12 +16,23 @@
 #     slo_transfer instants, with admission + transfer counters in the
 #     metrics dump.
 #
-# Usage: check_serve.sh <path-to-bench_serve> [workdir]
+# In batch mode the same sweep runs `bench_serve --batch` (the A/B:
+# unbatched baseline then batched dispatch at the same seed) and
+# additionally asserts:
+#   * the bench's batch verdict passes (BATCH: OK — per-request latency
+#     attributed from inside batches, spin-up amortized, drained);
+#   * determinism of the full A/B output (both runs byte-identical);
+#   * the goodput landmark: batched overload goodput >= 1.3x the
+#     unbatched baseline at the same seed;
+#   * the trace carries batch_close instants (the coalescing story).
+#
+# Usage: check_serve.sh <path-to-bench_serve> [workdir] [legacy|batch]
 
 set -euo pipefail
 
-BENCH=${1:?usage: check_serve.sh <bench_serve> [workdir]}
+BENCH=${1:?usage: check_serve.sh <bench_serve> [workdir] [legacy|batch]}
 WORKDIR=${2:-$(mktemp -d)}
+MODE=${3:-legacy}
 mkdir -p "$WORKDIR"
 
 fail() {
@@ -33,7 +44,9 @@ fail() {
 run() {
   TAG=$1
   RUNSEED=$2
-  "$BENCH" --seed "$RUNSEED" \
+  EXTRA=()
+  [ "$MODE" = batch ] && EXTRA=(--batch)
+  "$BENCH" --seed "$RUNSEED" "${EXTRA[@]}" \
     --trace "$WORKDIR/serve.$TAG.trace.json" \
     >"$WORKDIR/serve.$TAG.out" 2>&1 ||
     fail "run $TAG exited non-zero (see $WORKDIR/serve.$TAG.out)"
@@ -59,6 +72,19 @@ for S in 7 21 42; do
     fail "seed $S: bench verdict failed (no SERVE: OK)"
   assert_identical "$S.1" "$S.2"
 
+  if [ "$MODE" = batch ]; then
+    grep -q '^BATCH: OK$' "$OUT" ||
+      fail "seed $S: batch verdict failed (no BATCH: OK)"
+    # The goodput landmark: the bench prints the A/B speedup and its own
+    # verdict gates it at 1.3x; assert the landmark line is present (and
+    # not 0.xx) so a silent report regression cannot pass.
+    grep -Eq 'batch goodput speedup: [1-9][0-9]*\.[0-9]+x' "$OUT" ||
+      fail "seed $S: no batch goodput speedup landmark"
+    # Spin-up amortization: more than one request per region on average.
+    grep -Eq 'api   regions: [0-9]+ -> [0-9]+ \([2-9]' "$OUT" ||
+      fail "seed $S: api batches did not amortize regions"
+  fi
+
   # Zero SLO violations in the under-load phase, for both classes (the
   # viol column is the last field of each table row).
   for CLS in api batch; do
@@ -82,6 +108,11 @@ TRACE="$WORKDIR/serve.42.1.trace.json"
 # tenants register and rebalance, and the SLO pass records its moves.
 grep -q '"repartition"' "$TRACE" || fail "no repartition instant in trace"
 grep -q '"slo_transfer"' "$TRACE" || fail "no slo_transfer instant in trace"
+
+# Batch mode: coalescing leaves batch_close instants in the trace.
+if [ "$MODE" = batch ]; then
+  grep -q '"batch_close"' "$TRACE" || fail "no batch_close instant in trace"
+fi
 
 # Admission + arbitration metrics land in the metrics dump.
 METRICS="$TRACE.metrics.txt"

@@ -417,6 +417,8 @@ void RegionExec::retireIteration(unsigned TaskIdx) {
   if (Chunking && (IterationsRetired % RetunePeriod) == 0 &&
       PauseBound == NoSeq)
     retuneChunking();
+  if (OnProgress)
+    OnProgress(IterationsRetired);
 }
 
 void RegionExec::retuneChunking() {

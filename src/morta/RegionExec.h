@@ -183,6 +183,11 @@ public:
   std::function<void()> OnQuiescent;
   /// Fires when the region completes (work source exhausted and drained).
   std::function<void()> OnComplete;
+  /// Fires after each retirement with the execution's cumulative retired
+  /// count (the tail's commit progress). Left null on the hot path by
+  /// default; the serve broker uses it for per-request completion
+  /// attribution inside a batched region.
+  std::function<void(std::uint64_t Retired)> OnProgress;
 
   // --- Decima-facing monitoring ---------------------------------------
 

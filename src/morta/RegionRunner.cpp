@@ -73,6 +73,12 @@ void RegionRunner::beginExec(RegionConfig C, std::uint64_t StartSeq) {
       OnComplete();
   };
   Exec->OnQuiescent = [this] { onQuiescent(); };
+  // Re-wired on every execution so the watermark stream survives
+  // reconfigurations and resumes; RetiredBase keeps it continuous.
+  if (OnProgress)
+    Exec->OnProgress = [this](std::uint64_t Retired) {
+      OnProgress(RetiredBase + Retired);
+    };
   Exec->OnFaultEscalation = [this](unsigned TaskIdx) {
     if (OnFaultEscalation)
       OnFaultEscalation(TaskIdx);

@@ -159,6 +159,15 @@ public:
   }
 
   std::function<void()> OnComplete;
+  /// Commit-frontier watermark hook: fires after each retirement with
+  /// totalRetired() — continuous across reconfigurations, recoveries,
+  /// and checkpoint/resume, so the value only moves forward except
+  /// across an abortive recovery, where re-executed iterations repeat
+  /// watermarks (callers must treat crossings idempotently). Set before
+  /// start(); left null (the default) it costs the hot path nothing.
+  /// The serve broker uses it to attribute per-request completions
+  /// inside a batched region.
+  std::function<void(std::uint64_t TotalRetired)> OnProgress;
   /// Fires when a requested reconfiguration has fully taken effect.
   std::function<void()> OnReconfigured;
   /// Forwarded from the current execution: a transient fault exhausted

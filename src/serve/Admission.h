@@ -33,6 +33,7 @@ struct ServeRequest {
   sim::SimTime StartedAt = 0;   ///< dispatch time (0: never dispatched)
   sim::SimTime CompletedAt = 0; ///< service completion (0: not completed)
   bool Shed = false;            ///< dropped at dispatch by the policy
+  bool Rejected = false;        ///< refused at arrival (queue full)
 
   bool completed() const { return CompletedAt != 0; }
   sim::SimTime queueWait() const {

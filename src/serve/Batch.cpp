@@ -1,0 +1,47 @@
+//===- Batch.cpp - Request batching policy for the serve broker ------------===//
+
+#include "serve/Batch.h"
+
+#include <algorithm>
+
+using namespace parcae;
+using namespace parcae::serve;
+
+const char *parcae::serve::batchCloseName(BatchClose Why) {
+  switch (Why) {
+  case BatchClose::Size:
+    return "size";
+  case BatchClose::Timer:
+    return "timer";
+  case BatchClose::Slo:
+    return "slo";
+  }
+  return "?";
+}
+
+sim::SimTime BatchPolicy::closeDeadline(sim::SimTime OpenedAt,
+                                        sim::SimTime HeadArrivedAt,
+                                        sim::SimTime SloTarget) const {
+  sim::SimTime At = OpenedAt + MaxWait;
+  if (SloTarget > 0 && SloCloseFraction > 0) {
+    sim::SimTime Headroom = static_cast<sim::SimTime>(
+        static_cast<double>(SloTarget) * SloCloseFraction);
+    At = std::min(At, HeadArrivedAt + Headroom);
+  }
+  return At;
+}
+
+BatchClose BatchPolicy::closeReasonAt(sim::SimTime At, sim::SimTime OpenedAt,
+                                      sim::SimTime HeadArrivedAt,
+                                      sim::SimTime SloTarget) const {
+  if (SloTarget > 0 && SloCloseFraction > 0) {
+    sim::SimTime Headroom = static_cast<sim::SimTime>(
+        static_cast<double>(SloTarget) * SloCloseFraction);
+    // When both deadlines land on the same instant the SLO trigger wins
+    // the name: it is the binding constraint the operator tuned for.
+    if (HeadArrivedAt + Headroom <= At && HeadArrivedAt + Headroom <=
+                                              OpenedAt + MaxWait)
+      return BatchClose::Slo;
+  }
+  return BatchClose::Timer;
+}

@@ -27,23 +27,26 @@ public:
     S.pump(Idx);
   }
 
-  /// Live demand in threads: queued plus in-service requests, each worth
-  /// one runner configuration, floored at one runner (an idle class keeps
-  /// enough to serve the next arrival without a round trip through the
-  /// daemon). Deliberately NOT capped at the budget: demand above the
-  /// budget is exactly the daemon's hunger signal.
+  /// Live demand in threads: in-service batches plus the runners the
+  /// waiting requests (queued + forming) would need once coalesced,
+  /// each worth one runner configuration, floored at one runner (an
+  /// idle class keeps enough to serve the next arrival without a round
+  /// trip through the daemon). Deliberately NOT capped at the budget:
+  /// demand above the budget is exactly the daemon's hunger signal.
   unsigned threadsUsed() const override {
     const ClassState &C = *S.Classes[Idx];
     std::uint64_t Per = std::max(1u, C.Desc.Config.totalThreads());
-    std::uint64_t Demand = (C.Active.size() + C.Queue.size()) * Per;
-    Demand = std::max(Demand, Per);
+    std::uint64_t MaxB = std::max(1u, C.Desc.Batch.MaxBatch);
+    std::uint64_t Waiting = C.Queue.size() + C.Forming.size();
+    std::uint64_t Runners = C.Active.size() + (Waiting + MaxB - 1) / MaxB;
+    std::uint64_t Demand = std::max(Runners * Per, Per);
     return static_cast<unsigned>(std::min<std::uint64_t>(Demand, 1u << 20));
   }
 
   bool wantsMore() const override {
     const ClassState &C = *S.Classes[Idx];
     unsigned Per = std::max(1u, C.Desc.Config.totalThreads());
-    return !C.Queue.empty() ||
+    return !C.Queue.empty() || !C.Forming.empty() ||
            C.Active.size() * static_cast<std::uint64_t>(Per) > C.Budget;
   }
 
@@ -166,6 +169,12 @@ void ServeLoop::arrive(unsigned Idx) {
     ++C.Stats.Rejected;
     if (CntRejected)
       CntRejected->add();
+    // Rejected requests finish here: mark and finalize them so
+    // per-request observers see every arrival's outcome (shed requests
+    // already flow through finalize; silently dropping rejections made
+    // observers undercount).
+    Req->Rejected = true;
+    finalize(Idx, *Req);
     return;
   }
   ++C.Stats.Admitted;
@@ -184,39 +193,148 @@ void ServeLoop::pump(unsigned Idx) {
   if (DrainActive)
     return; // dispatch held: finishDrain() pumps every class
   ClassState &C = *Classes[Idx];
-  while (C.Active.size() < slotsFor(C) && !C.Queue.empty()) {
-    std::shared_ptr<ServeRequest> Req = std::move(C.Queue.front());
-    C.Queue.pop_front();
-    if (C.Desc.Policy->shedAtDispatch(*Req, Sim.now())) {
-      Req->Shed = true;
-      ++C.Stats.Shed;
-      if (CntShed)
-        CntShed->add();
-      finalize(Idx, *Req);
-      continue;
+  unsigned MaxB = std::max(1u, C.Desc.Batch.MaxBatch);
+  for (;;) {
+    // Fill the forming batch from the queue head. Opening a batch
+    // reserves one dispatch slot; with batching off (MaxB == 1) every
+    // request forms a singleton batch that closes immediately below.
+    while (C.Forming.size() < MaxB && !C.Queue.empty()) {
+      if (C.Forming.empty() && C.Active.size() >= slotsFor(C))
+        return; // no slot to reserve for a new batch
+      std::shared_ptr<ServeRequest> Req = std::move(C.Queue.front());
+      C.Queue.pop_front();
+      if (C.Desc.Policy->shedAtDispatch(*Req, Sim.now())) {
+        Req->Shed = true;
+        ++C.Stats.Shed;
+        if (CntShed)
+          CntShed->add();
+        finalize(Idx, *Req);
+        continue;
+      }
+      if (C.Forming.empty()) {
+        C.FormingOpenedAt = Sim.now();
+        ++C.FormingEpoch;
+      }
+      C.Forming.push_back(std::move(Req));
     }
-    dispatch(Idx, std::move(Req));
+    if (C.Forming.empty())
+      return;
+    if (C.Forming.size() >= MaxB) {
+      closeBatch(Idx, BatchClose::Size);
+      continue; // another slot may be free and requests still queued
+    }
+    // Underfull and the queue is drained: hold the batch open for the
+    // wait window, closing early when the head-of-line wait approaches
+    // the class SLO target.
+    armBatchTimer(Idx);
+    return;
   }
 }
 
-void ServeLoop::dispatch(unsigned Idx, std::shared_ptr<ServeRequest> Req) {
+void ServeLoop::armBatchTimer(unsigned Idx) {
   ClassState &C = *Classes[Idx];
-  Req->StartedAt = Sim.now();
-  auto F = std::make_unique<InFlight>(C.Desc.MakeRegion(*Req));
-  F->Req = std::move(Req);
-  F->Source =
-      std::make_unique<rt::CountedWorkSource>(C.Desc.ItersPerRequest);
+  const BatchPolicy &BP = C.Desc.Batch;
+  sim::SimTime SloTarget = C.Desc.Slo.enabled() ? C.Desc.Slo.Target : 0;
+  sim::SimTime HeadArrived = C.Forming.front()->ArrivedAt;
+  sim::SimTime CloseAt =
+      BP.closeDeadline(C.FormingOpenedAt, HeadArrived, SloTarget);
+  if (CloseAt <= Sim.now()) {
+    // Already overdue (e.g. re-pumped after a drain released the hold).
+    closeBatch(Idx, BP.closeReasonAt(CloseAt, C.FormingOpenedAt, HeadArrived,
+                                     SloTarget));
+    pump(Idx);
+    return;
+  }
+  if (C.TimerArmedEpoch == C.FormingEpoch)
+    return; // one timer per batch; later members never extend it
+  C.TimerArmedEpoch = C.FormingEpoch;
+  std::uint64_t Epoch = C.FormingEpoch;
+  Sim.schedule(CloseAt - Sim.now(), [this, Idx, Epoch, CloseAt] {
+    ClassState &C = *Classes[Idx];
+    if (Epoch != C.FormingEpoch || C.Forming.empty())
+      return; // the batch already closed (size trigger beat the timer)
+    if (DrainActive)
+      return; // dispatch held; finishDrain()'s pump re-closes overdue
+    sim::SimTime SloTarget = C.Desc.Slo.enabled() ? C.Desc.Slo.Target : 0;
+    closeBatch(Idx, C.Desc.Batch.closeReasonAt(
+                        CloseAt, C.FormingOpenedAt,
+                        C.Forming.front()->ArrivedAt, SloTarget));
+    pump(Idx);
+  });
+}
+
+void ServeLoop::closeBatch(unsigned Idx, BatchClose Why) {
+  ClassState &C = *Classes[Idx];
+  assert(!C.Forming.empty() && "closing an empty batch");
+  std::vector<std::shared_ptr<ServeRequest>> Members = std::move(C.Forming);
+  C.Forming.clear();
+  ++C.BStats.Batches;
+  C.BStats.BatchedRequests += Members.size();
+  C.BStats.OccupancyH.add(static_cast<double>(Members.size()));
+  switch (Why) {
+  case BatchClose::Size:
+    ++C.BStats.SizeCloses;
+    break;
+  case BatchClose::Timer:
+    ++C.BStats.TimerCloses;
+    break;
+  case BatchClose::Slo:
+    ++C.BStats.SloCloses;
+    break;
+  }
+  // Trace only real coalescing: a singleton-per-request stream would
+  // double the unbatched trace volume for no information.
+  if (C.Desc.Batch.enabled())
+    PARCAE_TRACE(
+        Tel, instant(TelPid, 0, "serve", "batch_close",
+                     {telemetry::TraceArg::str("class", C.Desc.Name),
+                      telemetry::TraceArg::num("size", Members.size()),
+                      telemetry::TraceArg::str("why", batchCloseName(Why))}));
+  dispatch(Idx, std::move(Members));
+}
+
+void ServeLoop::dispatch(unsigned Idx,
+                         std::vector<std::shared_ptr<ServeRequest>> B) {
+  ClassState &C = *Classes[Idx];
+  assert(!B.empty() && "dispatching an empty batch");
+  for (auto &Req : B)
+    Req->StartedAt = Sim.now();
+  auto F = std::make_unique<InFlight>(C.Desc.MakeRegion(*B.front()));
+  F->Members = std::move(B);
+  F->Source = std::make_unique<rt::CountedWorkSource>(
+      C.Desc.ItersPerRequest * F->Members.size());
   F->Runner =
       std::make_unique<rt::RegionRunner>(M, Costs, F->Region, *F->Source);
   InFlight *Fp = F.get();
   F->Runner->OnComplete = [this, Idx, Fp] { finish(Idx, Fp); };
+  // Watermark attribution only matters for real batches; singletons
+  // keep the hot path free of the per-retirement callback.
+  if (Fp->Members.size() > 1)
+    F->Runner->OnProgress = [this, Idx, Fp](std::uint64_t Retired) {
+      onBatchProgress(Idx, Fp, Retired);
+    };
   C.Active.push_back(std::move(F));
   Fp->Runner->start(C.Desc.Config);
 }
 
-void ServeLoop::finish(unsigned Idx, InFlight *F) {
+void ServeLoop::onBatchProgress(unsigned Idx, InFlight *F,
+                                std::uint64_t Retired) {
+  // Member i is complete once the batch retired (i + 1) x iters-per-
+  // request iterations. The last member waits for the runner's own
+  // completion (which includes the final drain), matching the singleton
+  // path. Crossings are idempotent: an abortive recovery may replay
+  // iterations and repeat watermarks, but Attributed only advances.
+  const ClassState &C = *Classes[Idx];
+  std::uint64_t Per = C.Desc.ItersPerRequest;
+  while (F->Attributed + 1 < F->Members.size() &&
+         Retired >= (F->Attributed + 1) * Per) {
+    completeMember(Idx, *F->Members[F->Attributed]);
+    ++F->Attributed;
+  }
+}
+
+void ServeLoop::completeMember(unsigned Idx, ServeRequest &R) {
   ClassState &C = *Classes[Idx];
-  ServeRequest &R = *F->Req;
   R.CompletedAt = Sim.now();
 
   double QueueUs = static_cast<double>(R.StartedAt - R.ArrivedAt) / 1e3;
@@ -234,15 +352,25 @@ void ServeLoop::finish(unsigned Idx, InFlight *F) {
           C.RecentSec.front().first + ClassState::RecentWindow <
               R.CompletedAt))
     C.RecentSec.pop_front();
+  C.RecentDirty = true;
 
   finalize(Idx, R);
+}
+
+void ServeLoop::finish(unsigned Idx, InFlight *F) {
+  ClassState &C = *Classes[Idx];
+  // Everything the watermarks did not already attribute — always at
+  // least the last member — completes with the runner.
+  for (std::size_t I = F->Attributed; I < F->Members.size(); ++I)
+    completeMember(Idx, *F->Members[I]);
+  F->Attributed = F->Members.size();
 
   // OnComplete fires from inside the runner's own execution: move the
   // whole in-flight record to the reap list and destroy it (and refill
   // the freed slot) one event later.
   auto It = std::find_if(C.Active.begin(), C.Active.end(),
                          [F](const auto &P) { return P.get() == F; });
-  assert(It != C.Active.end() && "completion for an unknown request");
+  assert(It != C.Active.end() && "completion for an unknown batch");
   Reap.push_back(std::move(*It));
   C.Active.erase(It);
   if (!ReapScheduled) {
@@ -257,8 +385,13 @@ void ServeLoop::finish(unsigned Idx, InFlight *F) {
 }
 
 void ServeLoop::onDomainWarning(const sim::FailureDomainEvent &D) {
-  if (DrainActive)
+  if (DrainActive) {
+    // A second domain warned while the first drain is still quiescing.
+    // Dropping it would leave that domain's cores busy when they fail;
+    // queue it and run the drain back-to-back from finishDrain().
+    PendingWarnings.push_back(D);
     return;
+  }
   DrainActive = true;
   DrainStartAt = Sim.now();
   DrainCores = D.Cores;
@@ -297,14 +430,19 @@ void ServeLoop::finishDrain() {
     M.offlineCore(Core);
   for (MigratingRequest &Mg : DrainMigrations) {
     Mg.F->Runner->resume(Mg.CP.Config, Mg.CP.Cursor);
-    ++Migrations;
+    // A migrated batch carries every still-unfinished member request.
+    Migrations += Mg.F->Members.size() - Mg.F->Attributed;
     if (CntMigrated)
       CntMigrated->add();
     PARCAE_TRACE(
         Tel, instant(TelPid, 0, "serve", "migrate",
                      {telemetry::TraceArg::str("class",
                                                Classes[Mg.ClassIdx]->Desc.Name),
-                      telemetry::TraceArg::num("request", Mg.F->Req->Id),
+                      telemetry::TraceArg::num("request",
+                                               Mg.F->Members.front()->Id),
+                      telemetry::TraceArg::num("members",
+                                               Mg.F->Members.size() -
+                                                   Mg.F->Attributed),
                       telemetry::TraceArg::num("cursor", Mg.CP.Cursor)}));
   }
   ++DrainsCompleted;
@@ -324,6 +462,14 @@ void ServeLoop::finishDrain() {
   DrainMigrations.clear();
   DrainCores.clear();
   DrainActive = false;
+  if (!PendingWarnings.empty()) {
+    // A warning arrived mid-drain: start its drain immediately instead
+    // of pumping, so nothing new lands on the next doomed domain.
+    sim::FailureDomainEvent Next = std::move(PendingWarnings.front());
+    PendingWarnings.pop_front();
+    onDomainWarning(Next);
+    return;
+  }
   for (unsigned I = 0; I < Classes.size(); ++I)
     pump(I);
 }
@@ -363,24 +509,51 @@ double ServeLoop::recentLatencySec(unsigned Idx, double P) const {
   assert(Idx < Classes.size());
   const ClassState &C = *Classes[Idx];
   while (!C.RecentSec.empty() &&
-         C.RecentSec.front().first + ClassState::RecentWindow < Sim.now())
+         C.RecentSec.front().first + ClassState::RecentWindow < Sim.now()) {
     C.RecentSec.pop_front();
+    C.RecentDirty = true;
+  }
   double Lat = -1.0;
   if (!C.RecentSec.empty()) {
-    std::vector<double> Sorted;
-    Sorted.reserve(C.RecentSec.size());
-    for (const auto &E : C.RecentSec)
-      Sorted.push_back(E.second);
-    std::sort(Sorted.begin(), Sorted.end());
-    std::size_t Rank = static_cast<std::size_t>(
-        std::ceil(P / 100.0 * static_cast<double>(Sorted.size())));
-    Rank = std::min(std::max<std::size_t>(Rank, 1), Sorted.size());
-    Lat = Sorted[Rank - 1];
+    // Rebuild the cached sample set only when the window changed; the
+    // arbiter probes every tick and used to copy + sort the window each
+    // time. SampleSet's sorted-order cache then makes repeated
+    // percentile queries between completions sort-free (pinned by
+    // recentProbeSorts()).
+    if (C.RecentDirty) {
+      C.RecentSorted.clear();
+      for (const auto &E : C.RecentSec)
+        C.RecentSorted.add(E.second);
+      C.RecentDirty = false;
+    }
+    Lat = C.RecentSorted.percentile(P);
   }
-  // Floor by the head-of-line queue wait: when completions are being
-  // shed faster than they finish, the queue itself is the latency signal.
-  if (!C.Queue.empty())
-    Lat = std::max(Lat,
-                   sim::toSeconds(Sim.now() - C.Queue.front()->ArrivedAt));
+  // Floor by the head-of-line wait (queued or forming): when requests
+  // wait faster than they finish, the queue itself is the latency signal.
+  const ServeRequest *Oldest = nullptr;
+  if (!C.Forming.empty())
+    Oldest = C.Forming.front().get();
+  else if (!C.Queue.empty())
+    Oldest = C.Queue.front().get();
+  if (Oldest)
+    Lat = std::max(Lat, sim::toSeconds(Sim.now() - Oldest->ArrivedAt));
   return Lat;
+}
+
+const BatchStats &ServeLoop::batchStats(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->BStats;
+}
+
+std::uint64_t ServeLoop::inFlightRequests(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  std::uint64_t N = 0;
+  for (const auto &F : Classes[Idx]->Active)
+    N += F->Members.size() - F->Attributed;
+  return N;
+}
+
+std::uint64_t ServeLoop::recentProbeSorts(unsigned Idx) const {
+  assert(Idx < Classes.size());
+  return Classes[Idx]->RecentSorted.sortsPerformed();
 }

@@ -14,9 +14,12 @@
 /// Flow per class:
 ///
 ///   ArrivalProcess -> admission (bounded queue, pluggable policy)
+///                  -> batching (optional: coalesce queued requests into
+///                     one shared region per BatchPolicy)
 ///                  -> dispatch into at most budget/threads-per-request
-///                     concurrent per-request RegionRunners
-///                  -> completion stamps + histograms + SLO window.
+///                     concurrent RegionRunners (one per batch)
+///                  -> completion stamps + histograms + SLO window,
+///                     attributed per request at iteration watermarks.
 ///
 /// The class's tenant reports its live thread demand (queue + in-service)
 /// to the daemon and exposes its windowed SLO latency; the daemon's SLO
@@ -37,6 +40,8 @@
 #include "morta/RegionRunner.h"
 #include "serve/Admission.h"
 #include "serve/Arrival.h"
+#include "serve/Batch.h"
+#include "sim/Faults.h"
 #include "sim/Machine.h"
 #include "support/Stats.h"
 
@@ -72,6 +77,9 @@ struct RequestClassDesc {
   SloSpec Slo;
   /// Admission policy; DropTailAdmission when null.
   std::unique_ptr<AdmissionPolicy> Policy;
+  /// Request coalescing; the default (MaxBatch = 1) dispatches every
+  /// request as its own region, the pre-batching behavior.
+  BatchPolicy Batch;
 };
 
 /// Open-loop request broker over one simulated machine.
@@ -113,8 +121,15 @@ public:
   unsigned numClasses() const { return static_cast<unsigned>(Classes.size()); }
   const std::string &className(unsigned Idx) const;
   const ClassStats &stats(unsigned Idx) const;
+  /// Batch dispatch statistics (singleton dispatches count as batches
+  /// of one, so Batches always equals regions spun up for the class).
+  const BatchStats &batchStats(unsigned Idx) const;
   std::size_t queueDepth(unsigned Idx) const;
+  /// In-flight batches (each holds one region/runner; a batch may carry
+  /// up to BatchPolicy::MaxBatch member requests).
   unsigned inService(unsigned Idx) const;
+  /// Member requests across all in-flight batches not yet completed.
+  std::uint64_t inFlightRequests(unsigned Idx) const;
   /// The class's current daemon budget (threads).
   unsigned budgetOf(unsigned Idx) const;
 
@@ -124,8 +139,15 @@ public:
   /// class has no signal yet.
   double recentLatencySec(unsigned Idx, double P) const;
 
-  /// Fires once per finished request (completed or shed) — benches use
-  /// it to bucket requests into load phases by arrival time.
+  /// Sorts the recent-latency probe performed for this class: stays
+  /// flat across repeated probes between completions (the SLO probe's
+  /// sorted-order cache; regression tests pin this).
+  std::uint64_t recentProbeSorts(unsigned Idx) const;
+
+  /// Fires once per finished request (completed, shed, or rejected) —
+  /// benches use it to bucket requests into load phases by arrival
+  /// time. Rejected requests carry Rejected = true and no timestamps
+  /// beyond ArrivedAt.
   std::function<void(const ServeRequest &)> OnRequestDone;
 
   // --- Drain / migration (failure-domain warnings) ---------------------
@@ -142,10 +164,18 @@ public:
 private:
   class ClassTenant;
 
-  /// One in-flight request execution. Address-stable (held by unique
-  /// pointer): the runner references Region and Source by address.
+  /// One in-flight batch execution (a singleton batch when batching is
+  /// off): the member requests share one region/runner fed by a counted
+  /// source of ItersPerRequest x Members.size() iterations. Address-
+  /// stable (held by unique pointer): the runner references Region and
+  /// Source by address.
   struct InFlight {
-    std::shared_ptr<ServeRequest> Req;
+    std::vector<std::shared_ptr<ServeRequest>> Members;
+    /// Members already completed at an iteration watermark; members
+    /// [Attributed, size) are still in flight. The last member is
+    /// always attributed at the runner's completion, so a singleton
+    /// batch behaves exactly like the pre-batching broker.
+    std::size_t Attributed = 0;
     rt::FlexibleRegion Region;
     std::unique_ptr<rt::CountedWorkSource> Source;
     std::unique_ptr<rt::RegionRunner> Runner;
@@ -162,6 +192,17 @@ private:
     std::vector<std::unique_ptr<InFlight>> Active;
     unsigned Budget = 1;
     ClassStats Stats;
+    BatchStats BStats;
+    /// The forming batch: requests pulled off the queue, holding one
+    /// reserved dispatch slot until the batch closes (size, timer, or
+    /// SLO pressure). Always empty when batching is disabled.
+    std::vector<std::shared_ptr<ServeRequest>> Forming;
+    sim::SimTime FormingOpenedAt = 0;
+    /// Bumped each time a batch opens; invalidates stale close timers.
+    std::uint64_t FormingEpoch = 0;
+    /// Epoch of the forming batch whose close timer is armed (one timer
+    /// per batch; extra members never extend the deadline).
+    std::uint64_t TimerArmedEpoch = 0;
     /// (completion time, total latency in seconds) of recent
     /// completions: the SLO probe's window. Time-bounded so the signal
     /// decays when load changes — a count-bounded window would keep
@@ -170,12 +211,30 @@ private:
     static constexpr sim::SimTime RecentWindow = 150 * sim::MSec;
     static constexpr std::size_t RecentCap = 512;
     mutable std::deque<std::pair<sim::SimTime, double>> RecentSec;
+    /// Sorted-order cache over RecentSec's latencies: rebuilt (and
+    /// re-sorted once) only when the window's contents changed since
+    /// the last probe, so repeated SLO probes between completions are
+    /// sort-free. mutable for the same reason as RecentSec.
+    mutable SampleSet RecentSorted;
+    mutable bool RecentDirty = true;
   };
 
   void scheduleArrival(unsigned Idx);
   void arrive(unsigned Idx);
   void pump(unsigned Idx);
-  void dispatch(unsigned Idx, std::shared_ptr<ServeRequest> Req);
+  /// Closes the forming batch with \p Why and dispatches it.
+  void closeBatch(unsigned Idx, BatchClose Why);
+  /// Arms (once per batch) the earliest of the wait-window and
+  /// SLO-early-close deadlines; closes immediately if already overdue.
+  void armBatchTimer(unsigned Idx);
+  void dispatch(unsigned Idx, std::vector<std::shared_ptr<ServeRequest>> B);
+  /// Watermark attribution: completes every member whose iteration
+  /// watermark the batch's retire count crossed (all but the last
+  /// member, which completes with the runner).
+  void onBatchProgress(unsigned Idx, InFlight *F, std::uint64_t Retired);
+  /// Stamps one member completed now and feeds histograms, SLO
+  /// accounting, the recent-latency window, and OnRequestDone.
+  void completeMember(unsigned Idx, ServeRequest &R);
   void finish(unsigned Idx, InFlight *F);
   void finalize(unsigned Idx, const ServeRequest &R);
   unsigned slotsFor(const ClassState &C) const;
@@ -209,6 +268,11 @@ private:
   sim::SimTime DrainStartAt = 0;
   std::vector<unsigned> DrainCores;
   std::vector<MigratingRequest> DrainMigrations;
+  /// Domain warnings announced while a drain was already active: run
+  /// one at a time after finishDrain(), instead of silently dropping
+  /// them (which would hard-offline the second domain under running
+  /// work and abort its requests).
+  std::deque<sim::FailureDomainEvent> PendingWarnings;
   std::uint64_t Migrations = 0;
   unsigned DrainsCompleted = 0;
 

@@ -91,6 +91,15 @@ public:
   /// Drops every other recorded sample (bounds memory on long runs).
   void decimate();
 
+  /// Forgets every sample but keeps the sort counter running, so a
+  /// caller rebuilding a windowed set in place (the serve broker's
+  /// recent-latency probe) stays pinned by sortsPerformed().
+  void clear() {
+    Samples.clear();
+    Sorted.clear();
+    SortedValid = false;
+  }
+
   /// Times percentile() actually sorted (a cache rebuild). Regression
   /// tests pin the caching contract with this: repeated queries between
   /// mutations must not re-sort.

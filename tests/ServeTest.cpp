@@ -344,6 +344,337 @@ TEST(ServeLoop, DomainWarningMigratesInFlightRequestsDeterministically) {
 }
 
 //===----------------------------------------------------------------------===//
+// ServeLoop batching
+//===----------------------------------------------------------------------===//
+
+TEST(ServeLoopBatch, SizeTriggerClosesFullBatches) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "sz";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("sz", 60000);
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  // A generous wait window: only the size trigger should fire.
+  D.Batch = {4, 10 * sim::MSec, 0.0};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+
+  const BatchStats &B = Serve.batchStats(Idx);
+  EXPECT_EQ(B.Batches, 2u);
+  EXPECT_EQ(B.BatchedRequests, 8u);
+  EXPECT_EQ(B.SizeCloses, 2u);
+  EXPECT_EQ(B.TimerCloses, 0u);
+  EXPECT_EQ(B.SloCloses, 0u);
+  EXPECT_DOUBLE_EQ(B.OccupancyH.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(B.requestsPerRegion(), 4.0);
+  EXPECT_EQ(Serve.stats(Idx).Completed, 8u);
+  EXPECT_EQ(Serve.inFlightRequests(Idx), 0u);
+}
+
+TEST(ServeLoopBatch, WaitWindowClosesUnderfullBatch) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "tm";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("tm", 60000);
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  // No SLO on the class: the 1 ms wait window is the only deadline.
+  D.Batch = {8, sim::MSec, 0.5};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  EXPECT_EQ(Serve.inService(Idx), 0u); // held open, waiting for members
+  Sim.run();
+
+  const BatchStats &B = Serve.batchStats(Idx);
+  EXPECT_EQ(B.Batches, 1u);
+  EXPECT_EQ(B.TimerCloses, 1u);
+  EXPECT_EQ(B.SizeCloses, 0u);
+  EXPECT_EQ(B.SloCloses, 0u);
+  EXPECT_DOUBLE_EQ(B.OccupancyH.max(), 3.0);
+  EXPECT_EQ(Serve.stats(Idx).Completed, 3u);
+  // The batch dispatched at the window deadline, not before: every
+  // member's queue wait is at least the 1 ms hold (in microseconds).
+  EXPECT_GE(Serve.stats(Idx).QueueWaitUs.min(), 1e3);
+}
+
+TEST(ServeLoopBatch, SloPressureClosesBatchEarly) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "slo";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("slo", 60000);
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  D.Slo = {95.0, 4 * sim::MSec};
+  // The 50 ms window would blow the 4 ms SLO; the early-close trigger
+  // (0.5 x target = 2 ms of head-of-line wait) must beat it.
+  D.Batch = {8, 50 * sim::MSec, 0.5};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  for (int I = 0; I < 2; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+
+  const BatchStats &B = Serve.batchStats(Idx);
+  EXPECT_EQ(B.Batches, 1u);
+  EXPECT_EQ(B.SloCloses, 1u);
+  EXPECT_EQ(B.TimerCloses, 0u);
+  EXPECT_EQ(Serve.stats(Idx).Completed, 2u);
+  // Closed at 2 ms of head wait, well inside the 50 ms window.
+  EXPECT_LT(Serve.stats(Idx).QueueWaitUs.max(), 10e3);
+}
+
+TEST(ServeLoopBatch, MembersCompleteAtIterationWatermarks) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "wm";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("wm", 500000); // 0.5 ms per iteration
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  D.Batch = {4, 10 * sim::MSec, 0.0};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  std::vector<sim::SimTime> Completions;
+  Serve.OnRequestDone = [&](const ServeRequest &R) {
+    Completions.push_back(R.CompletedAt);
+  };
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+
+  // One batch of four, but four *distinct* per-request completions: each
+  // member was attributed when the shared runner crossed its iteration
+  // watermark, not when the whole batch turned around.
+  ASSERT_EQ(Completions.size(), 4u);
+  for (std::size_t I = 1; I < Completions.size(); ++I)
+    EXPECT_LT(Completions[I - 1], Completions[I])
+        << "members must complete at successive watermarks";
+  const ServeLoop::ClassStats &S = Serve.stats(Idx);
+  EXPECT_EQ(S.Completed, 4u);
+  EXPECT_EQ(S.TotalUs.count(), 4u) << "one latency sample per member";
+  // The first member's service time is roughly a quarter of the last's:
+  // it did not pay for the whole batch.
+  EXPECT_LT(S.ServiceUs.min() * 2, S.ServiceUs.max());
+  EXPECT_EQ(Serve.batchStats(Idx).Batches, 1u);
+}
+
+TEST(ServeLoopBatch, BatchedDrainMigratesAllMembersDeterministically) {
+  // The live-migration story with coalescing on: a migrated batch runner
+  // carries every unfinished member request, and the whole world replays
+  // byte-identically under one seed.
+  auto RunOnce = [](std::uint64_t Seed) {
+    sim::Simulator Sim;
+    sim::Machine M(Sim, 4);
+    sim::FaultPlan Plan;
+    Plan.addDomain("socket1", {2, 3}, /*At=*/50 * sim::MSec,
+                   /*Downtime=*/30 * sim::MSec, /*Warning=*/5 * sim::MSec);
+    M.installFaultPlan(std::move(Plan));
+    rt::RuntimeCosts Costs;
+    rt::PlatformDaemon Daemon(4);
+    ServeLoop Serve(M, Costs, Daemon);
+
+    RequestClassDesc D;
+    D.Name = "bmig";
+    D.MakeRegion = [](const ServeRequest &) {
+      return makeServiceRegion("bmig", 500000);
+    };
+    D.ItersPerRequest = 4;
+    D.Config = {rt::Scheme::DoAny, {2}};
+    D.Batch = {4, 2 * sim::MSec, 0.5};
+    unsigned Idx = Serve.addClass(std::move(D));
+    Serve.startArrivals(Idx, std::make_unique<PoissonArrivals>(2000.0, Seed));
+    Sim.runUntil(100 * sim::MSec);
+    Serve.stopArrivals(Idx);
+    Sim.run();
+
+    EXPECT_GT(Serve.migrations(), 0u) << "nothing was in flight at the drain";
+    EXPECT_EQ(Serve.drainsCompleted(), 1u);
+    EXPECT_EQ(M.onlineCores(), 4u);
+    const ServeLoop::ClassStats &S = Serve.stats(Idx);
+    EXPECT_EQ(S.Admitted, S.Completed + S.Shed);
+    const BatchStats &B = Serve.batchStats(Idx);
+    EXPECT_GT(B.requestsPerRegion(), 1.0) << "nothing actually coalesced";
+    return std::make_tuple(S.Arrived, S.Admitted, S.Rejected, S.Shed,
+                           S.Completed, Serve.migrations(), B.Batches,
+                           B.SizeCloses, B.TimerCloses, B.SloCloses,
+                           S.TotalUs.percentile(95));
+  };
+  auto A = RunOnce(42), B = RunOnce(42), C = RunOnce(7);
+  EXPECT_GT(std::get<0>(A), 100u);
+  EXPECT_EQ(A, B) << "same seed must replay the batched drain identically";
+  EXPECT_NE(A, C);
+}
+
+//===----------------------------------------------------------------------===//
+// Serve-path regressions
+//===----------------------------------------------------------------------===//
+
+TEST(ServeLoop, OverlappingDomainWarningsBothDrain) {
+  // Two failure domains whose warning windows overlap: the second
+  // warning used to be silently dropped while the first drain was
+  // active, hard-failing the second domain under running work. It must
+  // queue and drain back-to-back instead.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 6);
+  sim::FaultPlan Plan;
+  Plan.addDomain("sockA", {4, 5}, /*At=*/20 * sim::MSec,
+                 /*Downtime=*/30 * sim::MSec, /*Warning=*/5 * sim::MSec);
+  // Warns 200 us after sockA, while sockA's drain is still waiting for
+  // in-flight 2 ms iterations to retire.
+  Plan.addDomain("sockB", {2, 3}, /*At=*/20 * sim::MSec + 200 * sim::USec,
+                 /*Downtime=*/30 * sim::MSec, /*Warning=*/5 * sim::MSec);
+  M.installFaultPlan(std::move(Plan));
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(6);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "ovl";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("ovl", 2000000); // 2 ms per iteration
+  };
+  D.ItersPerRequest = 16;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  unsigned Idx = Serve.addClass(std::move(D));
+  for (int I = 0; I < 6; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+
+  // Probe between the two warnings' arrival and the first drain's end:
+  // the first drain must still be active when the second warning lands,
+  // otherwise this test is not exercising the overlap.
+  Sim.schedule(15 * sim::MSec + 300 * sim::USec, [&] {
+    EXPECT_TRUE(Serve.draining()) << "first drain already over: no overlap";
+    EXPECT_EQ(Serve.drainsCompleted(), 0u);
+  });
+  Sim.run();
+
+  EXPECT_EQ(Serve.drainsCompleted(), 2u)
+      << "the overlapping warning was dropped";
+  EXPECT_FALSE(Serve.draining());
+  EXPECT_EQ(Serve.stats(Idx).Completed, 6u) << "requests lost in the drain";
+  EXPECT_EQ(M.onlineCores(), 6u) << "domains repaired after downtime";
+}
+
+TEST(ServeLoop, RejectedRequestsReachOnRequestDone) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 2);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(2);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "rej";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("rej", 60000);
+  };
+  D.Config = {rt::Scheme::DoAny, {2}};
+  D.QueueCapacity = 1;
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  unsigned Done = 0, Rejected = 0;
+  Serve.OnRequestDone = [&](const ServeRequest &R) {
+    if (R.Rejected) {
+      ++Rejected;
+      EXPECT_EQ(R.CompletedAt, 0u) << "rejected requests never start";
+      EXPECT_EQ(R.StartedAt, 0u);
+    } else {
+      ++Done;
+    }
+  };
+  // First dispatches, second queues, third is refused — and the refusal
+  // must reach the per-request observer (it used to vanish).
+  EXPECT_TRUE(Serve.inject(Idx));
+  EXPECT_TRUE(Serve.inject(Idx));
+  EXPECT_FALSE(Serve.inject(Idx));
+  EXPECT_EQ(Rejected, 1u);
+  Sim.run();
+  EXPECT_EQ(Done, 2u);
+  EXPECT_EQ(Serve.stats(Idx).Rejected, 1u);
+  EXPECT_EQ(Serve.stats(Idx).Completed, 2u);
+}
+
+TEST(ServeLoop, RecentLatencyProbeSortsOncePerCompletion) {
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 4);
+  rt::RuntimeCosts Costs;
+  rt::PlatformDaemon Daemon(4);
+  ServeLoop Serve(M, Costs, Daemon);
+
+  RequestClassDesc D;
+  D.Name = "probe";
+  D.MakeRegion = [](const ServeRequest &) {
+    return makeServiceRegion("probe", 60000);
+  };
+  D.ItersPerRequest = 4;
+  D.Config = {rt::Scheme::DoAny, {2}};
+  unsigned Idx = Serve.addClass(std::move(D));
+
+  for (int I = 0; I < 6; ++I)
+    EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+  EXPECT_EQ(Serve.stats(Idx).Completed, 6u);
+
+  // The arbiter probes the SLO window every tick; repeated probes with
+  // no new completions must reuse one sorted view (it used to copy and
+  // re-sort the whole window on every probe).
+  EXPECT_EQ(Serve.recentProbeSorts(Idx), 0u);
+  double P95 = Serve.recentLatencySec(Idx, 95);
+  EXPECT_GT(P95, 0.0);
+  EXPECT_EQ(Serve.recentProbeSorts(Idx), 1u);
+  for (int I = 0; I < 50; ++I) {
+    Serve.recentLatencySec(Idx, 95);
+    Serve.recentLatencySec(Idx, 50);
+  }
+  EXPECT_EQ(Serve.recentProbeSorts(Idx), 1u)
+      << "probes between completions re-sorted the window";
+
+  // A new completion dirties the window: exactly one more sort.
+  EXPECT_TRUE(Serve.inject(Idx));
+  Sim.run();
+  Serve.recentLatencySec(Idx, 95);
+  Serve.recentLatencySec(Idx, 95);
+  EXPECT_EQ(Serve.recentProbeSorts(Idx), 2u);
+
+  // Once the window ages out, the probe reports no signal (and has
+  // nothing to sort).
+  Sim.runUntil(Sim.now() + 200 * sim::MSec);
+  EXPECT_LT(Serve.recentLatencySec(Idx, 95), 0.0);
+  EXPECT_EQ(Serve.recentProbeSorts(Idx), 2u);
+}
+
+//===----------------------------------------------------------------------===//
 // PlatformDaemon tenants and SLO arbitration
 //===----------------------------------------------------------------------===//
 
