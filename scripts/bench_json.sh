@@ -10,6 +10,9 @@
 #                         pinned chunk sizes K = 1 / 8 / 32
 #   BENCH_serve.json      per-phase goodput/p95/shedding of the two-class
 #                         open-loop serving scenario (bench_serve)
+#   BENCH_straggler.json  slow-core A/B of bench_resilience --straggler:
+#                         makespan + p95 retire-gap improvement and the
+#                         speculative re-issue count
 #
 # Usage: bench_json.sh <bench-bindir> [outdir]
 #   <bench-bindir>  directory containing bench_simcore / bench_overheads
@@ -27,7 +30,12 @@ mkdir -p "$OUTDIR"
 # --batch adds the batched-dispatch A/B fields (speedup, close triggers,
 # spin-up amortization) alongside the legacy per-phase summary.
 "$BINDIR/bench_serve" --batch --json "$OUTDIR/BENCH_serve.json" >/dev/null
+# Straggler A/B: same seed run with and without slow-core avoidance +
+# speculative re-issue; the JSON carries both makespans and the ratio.
+"$BINDIR/bench_resilience" --straggler \
+  --json "$OUTDIR/BENCH_straggler.json" >/dev/null
 
 echo "bench_json.sh: wrote $OUTDIR/BENCH_simcore.json"
 echo "bench_json.sh: wrote $OUTDIR/BENCH_overheads.json"
 echo "bench_json.sh: wrote $OUTDIR/BENCH_serve.json"
+echo "bench_json.sh: wrote $OUTDIR/BENCH_straggler.json"

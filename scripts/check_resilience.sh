@@ -26,8 +26,17 @@
 #   * the trace shows the surgical story: the wedge fires, the watchdog
 #     convicts the task, and only that task restarts.
 #
+# straggler mode: sweeps the slow-core A/B scenario (--straggler) over
+# three seeds, running each seed twice, and asserts:
+#   * the 1.15x makespan-improvement gate holds (RESILIENCE: OK) with the
+#     exactly-once tail intact on both sides of the A/B;
+#   * byte-identical reruns per seed — slow-core-aware placement and
+#     speculative re-issue are deterministic in virtual time;
+#   * the trace shows the avoidance story: the straggler windows open,
+#     cores get penalized, and the watchdog re-issues stalled chunks.
+#
 # Usage: check_resilience.sh <path-to-bench_resilience> [workdir] [mode]
-#   mode: legacy | burst | wedge | all (default all)
+#   mode: legacy | burst | wedge | straggler | all (default all)
 
 set -euo pipefail
 
@@ -161,6 +170,40 @@ if [ "$MODE" = wedge ] || [ "$MODE" = all ]; then
     fail "no surgical-restart counter"
   grep -q 'watchdog\.surgical_mttr_us' "$WMETRICS" ||
     fail "no surgical MTTR histogram"
+fi
+
+if [ "$MODE" = straggler ] || [ "$MODE" = all ]; then
+  # Seed sweep over the slow-core A/B: each seed must clear the makespan
+  # gate with the ordered tail intact and rerun byte-identically.
+  for S in 7 21 42; do
+    run "strag.$S.1" "$S" --straggler
+    run "strag.$S.2" "$S" --straggler
+    grep -q '^RESILIENCE: OK$' "$WORKDIR/resil.strag.$S.1.out" ||
+      fail "straggler seed $S failed its gates (no RESILIENCE: OK)"
+    assert_identical "strag.$S.1" "strag.$S.2"
+    # The A/B verdict itself: a real (>= 1.15x, gated by the bench)
+    # makespan improvement from avoidance + speculation.
+    grep -Eq '^   improvement: [0-9]+\.[0-9]+x makespan' \
+      "$WORKDIR/resil.strag.$S.1.out" ||
+      fail "straggler seed $S: no makespan improvement line"
+  done
+
+  STRACE="$WORKDIR/resil.strag.42.1.trace.json"
+  [ -s "$STRACE" ] || fail "straggler trace file missing or empty: $STRACE"
+  # The avoidance story, in trace landmarks: dilation windows open, the
+  # rate sensor penalizes the slow cores, and the watchdog clones chunks
+  # that stall the commit frontier.
+  grep -q '"fault_straggler"' "$STRACE" ||
+    fail "no straggler-window instant in trace"
+  grep -q '"core_penalized"' "$STRACE" ||
+    fail "no core-penalized instant in trace"
+  grep -q '"watchdog_speculate"' "$STRACE" ||
+    fail "no speculative re-issue instant in trace"
+  SMETRICS="$STRACE.metrics.txt"
+  [ -s "$SMETRICS" ] || fail "straggler metrics dump missing: $SMETRICS"
+  grep -q 'machine\.cores_penalized' "$SMETRICS" ||
+    fail "no penalized-core counter"
+  grep -q 'watchdog\.speculations' "$SMETRICS" || fail "no speculation counter"
 fi
 
 echo "check_resilience.sh: OK ($MODE, $WORKDIR)"

@@ -10,7 +10,9 @@
 #     a serve drain, and cursor arithmetic;
 #   * bench_checkpoint end to end in all three modes (hot restart,
 #     warning drain, live serve migration);
-#   * bench_resilience end to end (the legacy mixed-fault scenario);
+#   * bench_resilience end to end (the legacy mixed-fault scenario) plus
+#     its --straggler A/B — the speculative cancel-then-clone path, whose
+#     worker teardown/respawn juggles in-flight buffers and epochs;
 #   * bench_serve --batch end to end — the batched-dispatch A/B, whose
 #     watermark attribution and batch reap/drain paths juggle member
 #     request pointers inside runner callbacks;
@@ -66,6 +68,8 @@ fi
   fail "bench_checkpoint --serve failed under sanitizers"
 "$BUILDDIR/bench/bench_resilience" --seed 42 >/dev/null ||
   fail "bench_resilience failed under sanitizers"
+"$BUILDDIR/bench/bench_resilience" --seed 42 --straggler >/dev/null ||
+  fail "bench_resilience --straggler failed under sanitizers"
 "$BUILDDIR/bench/bench_serve" --seed 42 --batch >/dev/null ||
   fail "bench_serve --batch failed under sanitizers"
 "$BUILDDIR/bench/bench_simcore" --events 100000 --dist mixed \

@@ -70,6 +70,20 @@ struct WatchdogParams {
   /// doomed cores before they die — zero aborted work, versus the
   /// reactive rescue + abort path when the domain fails unannounced.
   bool DrainOnWarning = true;
+  /// Speculative re-issue (straggler avoidance, serving mode): when
+  /// commit progress has been quiet for SpecStallThreshold and the oldest
+  /// in-flight iteration sits mid-compute on a *penalized* core, clone it
+  /// onto a backup worker (RegionExec::speculateLaggard) — the clone
+  /// lands on a healthy core and the loser is epoch-cancelled. Needs
+  /// MachineConfig::SlowCoreAvoidance on, or no core is ever penalized.
+  /// Off by default.
+  bool Speculate = false;
+  /// Progress silence before speculation is considered. Kept well below
+  /// StallThreshold so re-issue beats the abortive path to a core that is
+  /// merely slow, not dead.
+  sim::SimTime SpecStallThreshold = 1 * sim::MSec;
+  /// The laggard worker's own silence before its iteration is re-issued.
+  sim::SimTime SpecAgeThreshold = 500 * sim::USec;
 };
 
 /// Periodic liveness monitor driving Morta's recovery paths.
@@ -101,6 +115,8 @@ public:
   }
   /// Stranded threads rescued in total.
   unsigned threadsRescued() const { return Rescued; }
+  /// Speculative re-issues driven (laggard cloned off a penalized core).
+  unsigned speculationsIssued() const { return SpeculationsIssued; }
   /// Stalls where the blame scan convicted a single task.
   unsigned blamesAssigned() const { return BlamesAssigned; }
   /// Blamed tasks actually repaired surgically (restart or scoped rescue).
@@ -171,6 +187,7 @@ private:
   unsigned EscalationsHandled = 0;
   unsigned RecoveriesCompleted = 0;
   unsigned Rescued = 0;
+  unsigned SpeculationsIssued = 0;
   unsigned BlamesAssigned = 0;
   unsigned SurgicalRestarts = 0;
   unsigned FallbackAborts = 0;

@@ -34,6 +34,16 @@ Action Worker::resume(sim::Machine &M, sim::SimThread &) {
   const RuntimeCosts &C = R.Costs;
   switch (St) {
   case State::Init:
+    if (SpecResume) {
+      // Speculative clone: re-pay the laggard's interrupted compute (the
+      // functor itself must not re-run; see Worker.h). The cost lands in
+      // ComputeTime a second time on purpose — the machine really does
+      // execute the work twice.
+      SpecResume = false;
+      R.Stats[TaskIdx].ComputeTime += SpecCost;
+      St = State::Compute;
+      return Action::compute(C.ThreadSpawn + SpecCost);
+    }
     St = State::Fetch;
     return Action::compute(C.ThreadSpawn + C.InitCost + T.InitCost);
 

@@ -132,6 +132,17 @@ private:
   /// zero-cost Fetch/Send spin when the window is also full).
   bool IdleFlushDone = false;
 
+  /// Speculative clone (RegionExec::speculateLaggard): the first resume
+  /// continues the terminated laggard's in-flight iteration at the main
+  /// compute charge instead of starting from Fetch. The laggard already
+  /// ran the functor — its side effects are durable, and a sequential
+  /// tail's commit already advanced the frontier — so the clone must NOT
+  /// re-run it; it re-pays SpecCost (the functor's declared cost) on its
+  /// own, healthy core and proceeds to Critical/Send/IterDone, retiring
+  /// the iteration exactly once.
+  bool SpecResume = false;
+  sim::SimTime SpecCost = 0;
+
   /// The worker's simulated thread; RegionExec::abort() terminates it.
   sim::SimThread *Thread = nullptr;
 

@@ -4,6 +4,7 @@
 
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace parcae::sim;
@@ -77,12 +78,42 @@ void FaultPlan::scatterTransients(std::uint64_t Seed, const std::string &Task,
   }
 }
 
+void FaultPlan::scatterStragglers(std::uint64_t Seed, unsigned NumCores,
+                                  unsigned Count, SimTime From, SimTime To,
+                                  SimTime Duration, double MinDilation,
+                                  double MaxDilation) {
+  assert(NumCores > 0 && "scatter needs at least one core");
+  assert(From < To && "empty scatter window");
+  assert(MinDilation >= 1.0 && MinDilation <= MaxDilation);
+  Rng R(Seed);
+  for (unsigned I = 0; I < Count; ++I) {
+    unsigned Core = static_cast<unsigned>(R.nextBelow(NumCores));
+    SimTime At = From + R.nextBelow(To - From);
+    double Dilation = R.nextRealInRange(MinDilation, MaxDilation);
+    addStraggler(Core, At, Duration, Dilation);
+  }
+}
+
 double FaultPlan::dilation(unsigned Core, SimTime Now) const {
+  // Overlapping windows do not compound: the core runs at the worst active
+  // dilation (two 4x windows give 4x, not 16x).
   double F = 1.0;
   for (const StragglerFault &S : Stragglers)
     if (S.Core == Core && Now >= S.At && Now < S.At + S.Duration)
-      F *= S.Dilation;
+      F = std::max(F, S.Dilation);
   return F;
+}
+
+SimTime FaultPlan::nextDilationBoundary(unsigned Core, SimTime Now) const {
+  SimTime Next = 0;
+  for (const StragglerFault &S : Stragglers) {
+    if (S.Core != Core)
+      continue;
+    for (SimTime Edge : {S.At, S.At + S.Duration})
+      if (Edge > Now && (Next == 0 || Edge < Next))
+        Next = Edge;
+  }
+  return Next;
 }
 
 unsigned FaultPlan::transientFailCount(const std::string &Task,

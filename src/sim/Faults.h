@@ -145,9 +145,25 @@ public:
                          std::uint64_t SeqBegin, std::uint64_t SeqEnd,
                          unsigned Count, unsigned MaxFailCount = 1);
 
-  /// Combined dilation factor of \p Core at time \p Now (1.0 = nominal;
-  /// overlapping windows multiply, like stacked co-tenants).
+  /// Scatters \p Count straggler windows over cores [0, NumCores) and start
+  /// times [From, To), deterministically from \p Seed. Each window lasts
+  /// \p Duration and dilates by a factor uniform in
+  /// [MinDilation, MaxDilation].
+  void scatterStragglers(std::uint64_t Seed, unsigned NumCores, unsigned Count,
+                         SimTime From, SimTime To, SimTime Duration,
+                         double MinDilation, double MaxDilation);
+
+  /// Dilation factor of \p Core at time \p Now (1.0 = nominal). Overlapping
+  /// windows combine with max — a throttled core runs at the worst active
+  /// dilation, it does not compound — so the result is always >= 1 and never
+  /// exceeds the largest declared window.
   double dilation(unsigned Core, SimTime Now) const;
+
+  /// Next time strictly after \p Now at which \p Core's dilation factor can
+  /// change (a straggler window opening or closing). Returns 0 when no
+  /// boundary lies ahead. The Machine clamps compute slices to this so each
+  /// slice runs under one constant dilation (piecewise-exact stragglers).
+  SimTime nextDilationBoundary(unsigned Core, SimTime Now) const;
 
   /// Attempts of (\p Task, \p Seq) that fault before one succeeds.
   unsigned transientFailCount(const std::string &Task,

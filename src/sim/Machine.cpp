@@ -46,6 +46,8 @@ Machine::Machine(Simulator &Sim, unsigned NumCores, MachineConfig Cfg)
       Tel->nameThread(TelPid, I, "core " + std::to_string(I));
     CtxSwitchMetric = &Tel->metrics().counter("machine.ctx_switches");
     SliceMetric = &Tel->metrics().counter("machine.slices");
+    CoreRateMetric = &Tel->metrics().gauge("machine.core_rate");
+    CoreRateMetric->set(1.0);
     TelCoreSpan.assign(NumCores, nullptr);
   }
 #endif
@@ -150,17 +152,27 @@ void Machine::tryAssign() {
     if (BusyCount >= OnlineCount)
       return;
     // Find a free core, preferring the one the thread last ran on so that
-    // a thread running alone never pays switch costs.
+    // a thread running alone never pays switch costs. With slow-core
+    // avoidance on, a core observed running dilated is last-resort: any
+    // healthy core outranks it (even at the price of a context switch),
+    // and affinity only breaks ties within each class. Penalized cores
+    // still run work when nothing else is free — placement stays
+    // work-conserving, and using them is also what re-probes their rate.
     int Free = -1;
+    int FreeRank = 4;
     for (unsigned I = 0; I < Cores.size(); ++I) {
       if (Cores[I].Running || Cores[I].Offline)
         continue;
-      if (Cores[I].LastThread == T) {
+      bool Affine = Cores[I].LastThread == T;
+      int Rank = (Cfg.SlowCoreAvoidance && corePenalized(I))
+                     ? (Affine ? 2 : 3)
+                     : (Affine ? 0 : 1);
+      if (Rank < FreeRank) {
+        FreeRank = Rank;
         Free = static_cast<int>(I);
-        break;
+        if (Rank == 0)
+          break;
       }
-      if (Free < 0)
-        Free = static_cast<int>(I);
     }
     if (Free < 0)
       return; // all cores busy
@@ -241,7 +253,36 @@ void Machine::startSlice(unsigned CoreIdx, SimThread *T) {
   SimTime SliceLen = std::min(T->RemainingBurst, Cfg.Quantum);
   // A straggling core stretches the slice's wall time: every work cycle
   // takes Dilation cycles, though only SliceLen cycles of work complete.
-  double Dilation = Plan ? Plan->dilation(CoreIdx, Sim.now()) : 1.0;
+  // The factor is sampled where the work begins (after the switch
+  // overhead) and the slice is clamped to the next straggler-window
+  // boundary, so each slice runs under one constant factor and a window
+  // opening or closing mid-slice takes effect on time (piecewise-exact),
+  // the same way offline/domain events already bound slices.
+  SimTime WorkStart = Sim.now() + Overhead;
+  double Dilation = Plan ? Plan->dilation(CoreIdx, WorkStart) : 1.0;
+  if (Plan)
+    if (SimTime Boundary = Plan->nextDilationBoundary(CoreIdx, WorkStart)) {
+      SimTime Span = Boundary - WorkStart;
+      SimTime MaxWork =
+          Dilation > 1.0
+              ? static_cast<SimTime>(static_cast<double>(Span) / Dilation)
+              : Span;
+      // Never clamp to zero work: a boundary nearer than one dilated
+      // cycle still admits one cycle, bounding the error at one cycle
+      // while guaranteeing progress.
+      SliceLen = std::min(SliceLen, std::max<SimTime>(MaxWork, 1));
+    }
+  // The quantum timer is a *wall-clock* preemption: it does not slow
+  // down with a dilated core, so a slice never occupies a straggling
+  // core for more than about one quantum of wall time. This is what
+  // lets the rate sensor re-sample (and the dispatcher route around) a
+  // slow core during a long straggler window rather than only at its
+  // close.
+  if (Dilation > 1.0) {
+    SimTime MaxWork =
+        static_cast<SimTime>(static_cast<double>(Cfg.Quantum) / Dilation);
+    SliceLen = std::min(SliceLen, std::max<SimTime>(MaxWork, 1));
+  }
   SimTime Wall =
       Dilation > 1.0
           ? static_cast<SimTime>(static_cast<double>(SliceLen) * Dilation)
@@ -297,6 +338,7 @@ void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen,
   if (C.Epoch != Epoch)
     return; // slice cancelled: its thread was stranded or terminated
   assert(C.Running == T && "slice ended on wrong core");
+  noteSliceRate(CoreIdx);
   C.Running = nullptr;
   C.LastThread = T;
   setBusyCount(BusyCount - 1);
@@ -313,6 +355,91 @@ void Machine::endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen,
   T->CoreIdx = -1;
   ReadyQueue.push_back(T);
   dispatch();
+}
+
+void Machine::noteSliceRate(unsigned CoreIdx) {
+  Core &C = Cores[CoreIdx];
+  SimTime Now = Sim.now();
+  // One slice contributes its wall time's worth of evidence, saturating
+  // at a full replacement after RateTau of continuous observation.
+  SimTime Wall = static_cast<SimTime>(static_cast<double>(C.SliceWork) *
+                                      C.SliceDilation);
+  double Alpha =
+      Cfg.RateTau > 0 ? std::min(1.0, static_cast<double>(Wall) /
+                                          static_cast<double>(Cfg.RateTau))
+                      : 1.0;
+  double Prev = Now - C.RateSampledAt > Cfg.RateSampleTtl ? 1.0 : C.Rate;
+  C.Rate = Prev + Alpha * (1.0 / C.SliceDilation - Prev);
+  C.RateSampledAt = Now;
+  if (!Cfg.SlowCoreAvoidance)
+    return;
+  bool Pen = C.Rate < Cfg.SlowCoreThreshold;
+  if (Pen == C.PenalizedMark)
+    return;
+  C.PenalizedMark = Pen;
+  if (Tel) {
+    CoreRateMetric->set(minCoreRate());
+    Tel->metrics()
+        .counter(Pen ? "machine.cores_penalized" : "machine.cores_recovered")
+        .add();
+    Tel->instant(TelPid, CoreIdx, "machine",
+                 Pen ? "core_penalized" : "core_recovered",
+                 {telemetry::TraceArg::num("rate", C.Rate),
+                  telemetry::TraceArg::num("penalized",
+                                           static_cast<double>(
+                                               penalizedCores()))});
+  }
+}
+
+double Machine::coreRate(unsigned CoreIdx) const {
+  assert(CoreIdx < Cores.size());
+  const Core &C = Cores[CoreIdx];
+  // A stale estimate reads as nominal: an idle core cannot re-measure
+  // itself, so after the TTL it gets the benefit of the doubt.
+  if (Sim.now() - C.RateSampledAt > Cfg.RateSampleTtl)
+    return 1.0;
+  return C.Rate;
+}
+
+bool Machine::corePenalized(unsigned CoreIdx) const {
+  if (!Cfg.SlowCoreAvoidance || Cores[CoreIdx].Offline)
+    return false;
+  if (coreRate(CoreIdx) < Cfg.SlowCoreThreshold)
+    return true;
+  // Live evidence: a running slice that has overstayed its healthy-core
+  // schedule (overhead + work; wall == work at nominal speed) is lagging
+  // *right now*, before any completed slice can feed the EWMA. This is
+  // what lets speculation convict the core its laggard is stuck on — by
+  // definition that core is mid-slice, so a completed-slice-only sensor
+  // would learn of the dilation only after the laggard escapes.
+  const Core &C = Cores[CoreIdx];
+  if (C.Running) {
+    SimTime Expect = C.SliceOverhead + C.SliceWork;
+    SimTime Sofar = Sim.now() - C.SliceAt;
+    if (Expect > 0 && Sofar > Expect &&
+        static_cast<double>(Expect) / static_cast<double>(Sofar) <
+            Cfg.SlowCoreThreshold)
+      return true;
+  }
+  return false;
+}
+
+unsigned Machine::penalizedCores() const {
+  if (!Cfg.SlowCoreAvoidance)
+    return 0;
+  unsigned N = 0;
+  for (unsigned I = 0; I < Cores.size(); ++I)
+    if (corePenalized(I))
+      ++N;
+  return N;
+}
+
+double Machine::minCoreRate() const {
+  double Min = 1.0;
+  for (unsigned I = 0; I < Cores.size(); ++I)
+    if (!Cores[I].Offline)
+      Min = std::min(Min, coreRate(I));
+  return Min;
 }
 
 void Machine::releaseGangHold(SimThread *T) {

@@ -129,6 +129,8 @@ public:
   const std::string &name() const { return Name; }
   std::uint64_t id() const { return Id; }
   ThreadState state() const { return State; }
+  /// Core the thread currently runs on, or -1 when it holds no core.
+  int coreIdx() const { return CoreIdx; }
   Machine &machine() const { return *M; }
   /// Signalled (notifyAll) when the thread finishes.
   Waitable &exitEvent() { return ExitEvent; }
@@ -173,6 +175,24 @@ struct MachineConfig {
   /// whose working set exceeds its cache share under oversubscription
   /// (how dedup loses throughput under OS load balancing, Table 8.5).
   SimTime CacheRefillCost = 0;
+
+  // --- Slow-core avoidance (straggler-aware placement) -----------------
+
+  /// When on, dispatch prefers cores whose observed service rate is within
+  /// SlowCoreThreshold of nominal; a penalized core becomes last-resort
+  /// rather than an equal peer. Off by default: legacy scenarios keep
+  /// byte-identical schedules.
+  bool SlowCoreAvoidance = false;
+  /// A core whose effective rate (1.0 = nominal) falls below this fraction
+  /// is penalized in placement.
+  double SlowCoreThreshold = 0.75;
+  /// EWMA time constant for per-core rate samples: one slice's weight is
+  /// proportional to its wall time, saturating at RateTau.
+  SimTime RateTau = 1 * MSec;
+  /// A rate estimate older than this reads as nominal again, so a slow
+  /// core that went idle (nothing scheduled on it to re-measure) is
+  /// re-probed instead of shunned forever.
+  SimTime RateSampleTtl = 15 * MSec;
 };
 
 /// The simulated multicore machine.
@@ -284,6 +304,25 @@ public:
   /// re-execute the iteration without wedging again.
   bool takeWedge(const std::string &Task, std::uint64_t Seq);
 
+  // --- Slow-core avoidance (per-core effective service rate) -----------
+
+  /// Observed effective service rate of \p CoreIdx: an EWMA over finished
+  /// slices of work-cycles-per-wall-cycle, so 1.0 means nominal and 0.25
+  /// means the core runs 4x dilated. An estimate older than
+  /// MachineConfig::RateSampleTtl reads as 1.0 (the core is re-probed).
+  double coreRate(unsigned CoreIdx) const;
+
+  /// True when slow-core avoidance is on and \p CoreIdx's effective rate
+  /// is below MachineConfig::SlowCoreThreshold.
+  bool corePenalized(unsigned CoreIdx) const;
+
+  /// Online cores currently penalized (always 0 with avoidance off).
+  unsigned penalizedCores() const;
+
+  /// Minimum effective rate across online cores (1.0 on an idle or
+  /// healthy machine) — the Decima MinCoreRate sensor.
+  double minCoreRate() const;
+
   /// Telemetry sink (null = tracing off). Picked up from the process-wide
   /// recorder at construction; the machine binds the recorder's virtual
   /// clock to its simulator, rebasing time across successive runs.
@@ -307,11 +346,21 @@ private:
     SimTime SliceOverhead = 0; ///< switch overhead before work begins
     SimTime SliceWork = 0;     ///< work cycles this slice covers
     double SliceDilation = 1.0;
+    /// EWMA of observed service rate (work/wall, 1.0 = nominal), updated
+    /// at each slice end; stale past RateSampleTtl (see coreRate()).
+    double Rate = 1.0;
+    SimTime RateSampledAt = 0;
+    /// Placement-penalty state as of the last rate sample, kept only to
+    /// emit core_penalized / core_recovered transitions exactly once.
+    bool PenalizedMark = false;
   };
 
   void wake(SimThread *T);
   void dispatch();
   void tryAssign();
+  /// Folds one finished slice's observed rate into the core's EWMA and
+  /// emits penalty-transition telemetry.
+  void noteSliceRate(unsigned CoreIdx);
   void startSlice(unsigned CoreIdx, SimThread *T);
   bool tryReserveGang(SimThread *T, unsigned Gang, SimTime Cycles);
   void endSlice(unsigned CoreIdx, SimThread *T, SimTime SliceLen,
@@ -353,6 +402,7 @@ private:
   std::uint32_t TelPid = 0;
   telemetry::Counter *CtxSwitchMetric = nullptr;
   telemetry::Counter *SliceMetric = nullptr;
+  telemetry::Gauge *CoreRateMetric = nullptr;
   /// Open core-occupancy span per core: consecutive slices of one thread
   /// coalesce into a single span (a trace event per quantum would flood).
   std::vector<SimThread *> TelCoreSpan;

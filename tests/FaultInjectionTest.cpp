@@ -63,6 +63,21 @@ FlexibleRegion makeSPS(std::vector<std::int64_t> *Tail = nullptr) {
   return R;
 }
 
+/// Computes one fixed burst, then finishes (for slice-boundary timing
+/// tests that need an exact amount of work on a raw machine).
+class OneBurst : public sim::ThreadBody {
+public:
+  explicit OneBurst(sim::SimTime Cycles) : Cycles(Cycles) {}
+  sim::Action resume(sim::Machine &, sim::SimThread &) override {
+    if (Done)
+      return sim::Action::finish();
+    Done = true;
+    return sim::Action::compute(Cycles);
+  }
+  bool Done = false;
+  sim::SimTime Cycles;
+};
+
 } // namespace
 
 TEST(FaultInjection, ZeroIterationRegionCompletesImmediately) {
@@ -857,4 +872,148 @@ TEST(FaultInjection, WorkScaleChangeMidChaos) {
   Sim.run();
   EXPECT_TRUE(Runner.completed());
   EXPECT_TRUE(CL.memory() == RefMem);
+}
+
+TEST(FaultInjection, DilationWindowOpensMidSlice) {
+  // A straggler window that opens in the middle of a scheduled slice must
+  // take effect at the boundary, not at the next slice. The machine
+  // samples dilation once per slice, so slices are clamped to the next
+  // window edge; without the clamp a 4 ms burst scheduled at time zero
+  // would run entirely at nominal speed and finish at 4 ms even though
+  // the core slows 4x from 2 ms onward.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 1);
+  sim::FaultPlan Plan;
+  Plan.addStraggler(0, 2 * sim::MSec, 4 * sim::MSec, 4.0);
+  M.installFaultPlan(std::move(Plan));
+  M.spawn("burst", std::make_unique<OneBurst>(4 * sim::MSec));
+  Sim.run();
+  // [0,2ms): 2 ms of work at 1x. [2ms,6ms): 1 ms of work at 4x (fills the
+  // window). [6ms,7ms): the last 1 ms at nominal speed again.
+  EXPECT_EQ(Sim.now(), 7 * sim::MSec);
+}
+
+TEST(FaultInjection, DilationWindowClosesMidSlice) {
+  // The symmetric bug: a window that closes mid-slice must stop dilating
+  // at its edge. Before the boundary clamp, a 2 ms burst started inside
+  // a 4x window [0,3ms) was charged 8 ms of wall time even though the
+  // core recovered at 3 ms.
+  sim::Simulator Sim;
+  sim::Machine M(Sim, 1);
+  sim::FaultPlan Plan;
+  Plan.addStraggler(0, 0, 3 * sim::MSec, 4.0);
+  M.installFaultPlan(std::move(Plan));
+  M.spawn("burst", std::make_unique<OneBurst>(2 * sim::MSec));
+  Sim.run();
+  // [0,3ms): 750 us of work at 4x fills the window exactly. The
+  // remaining 1.25 ms runs at nominal speed: finish at 4.25 ms.
+  EXPECT_EQ(Sim.now(), 4250 * sim::USec);
+}
+
+TEST(FaultInjection, PlacementPenaltyDeterministic) {
+  // Slow-core avoidance and speculative re-issue are both pure functions
+  // of virtual time: with the same seed, two runs with the full straggler
+  // mitigation stack enabled retire byte-identical output through an
+  // identical event sequence.
+  auto Run = [](std::uint64_t Seed) {
+    sim::Simulator Sim;
+    sim::MachineConfig MC;
+    MC.SlowCoreAvoidance = true;
+    sim::Machine M(Sim, 8, MC);
+    sim::FaultPlan Plan;
+    Plan.scatterStragglers(Seed, 8, 12, 1 * sim::MSec, 40 * sim::MSec,
+                           6 * sim::MSec, 8.0, 32.0);
+    M.installFaultPlan(std::move(Plan));
+    RuntimeCosts Costs;
+    CountedWorkSource Src(1500);
+    std::vector<std::int64_t> Tail;
+    FlexibleRegion Region = makeSPS(&Tail);
+    RegionRunner Runner(M, Costs, Region, Src);
+    RegionController Ctrl(Runner); // never started: fixed config
+    WatchdogParams WP;
+    WP.Speculate = true;
+    WP.SpecStallThreshold = 500 * sim::USec;
+    WP.SpecAgeThreshold = 250 * sim::USec;
+    Watchdog Dog(Ctrl, WP);
+    RegionConfig C;
+    C.S = Scheme::PsDswp;
+    C.DoP = {1, 3, 1};
+    Runner.start(C);
+    Dog.start();
+    Sim.run();
+    EXPECT_TRUE(Runner.completed());
+    EXPECT_EQ(Tail.size(), 1500u);
+    return std::make_pair(Sim.eventsProcessed(), Tail);
+  };
+  auto A = Run(11), B = Run(11);
+  EXPECT_EQ(A.first, B.first) << "event counts diverged under one seed";
+  EXPECT_EQ(A.second, B.second);
+}
+
+TEST(FaultInjection, SpeculativeReissueNoDoubleCommit) {
+  // Pin the speculation race: when the commit frontier stalls behind a
+  // chunk crawling on a penalized core, the watchdog clones it onto a
+  // healthy worker. The original is cancelled via its slice epoch, so
+  // its in-flight work must never retire — each sequence number reaches
+  // the tail exactly once, in order, no matter how many clones fire.
+  sim::Simulator Sim;
+  sim::MachineConfig MC;
+  MC.SlowCoreAvoidance = true;
+  sim::Machine M(Sim, 4, MC);
+  sim::FaultPlan Plan;
+  // One tar-pit core, dilated hard for most of the run. Workers land on
+  // cores in spawn order (a->0, b->1, c->2), so core 1 hosts the
+  // 2 ms/iter Par stage: once the window opens, the frontier stalls
+  // behind its in-flight chunk within a few watchdog ticks.
+  Plan.addStraggler(1, 1 * sim::MSec, 200 * sim::MSec, 64.0);
+  M.installFaultPlan(std::move(Plan));
+  RuntimeCosts Costs;
+  CountedWorkSource Src(80);
+  std::vector<std::int64_t> Tail;
+  // The Par stage dominates (2 ms/iter): when the producer lands on the
+  // tar pit, the frontier goes quiet long enough for the watchdog's
+  // speculation branch, while the 3-thread gang leaves a healthy core
+  // free to host the clone.
+  FlexibleRegion Region("spec");
+  {
+    RegionDesc D;
+    D.Name = "spec-pipe";
+    D.S = Scheme::PsDswp;
+    D.Tasks.emplace_back("a", TaskType::Seq, [](IterationContext &C) {
+      C.Cost = 10 * sim::USec;
+      C.Out[0].Value = static_cast<std::int64_t>(C.Seq);
+    });
+    D.Tasks.emplace_back("b", TaskType::Par, [](IterationContext &C) {
+      C.Cost = 2 * sim::MSec;
+      C.Out[0].Value = C.In[0].Value;
+    });
+    D.Tasks.emplace_back("c", TaskType::Seq, [&Tail](IterationContext &C) {
+      C.Cost = 10 * sim::USec;
+      Tail.push_back(C.In[0].Value);
+    });
+    D.Links.push_back({0, 1});
+    D.Links.push_back({1, 2});
+    Region.addVariant(std::move(D));
+  }
+  RegionRunner Runner(M, Costs, Region, Src);
+  RegionController Ctrl(Runner); // never started: watchdog acts alone
+  WatchdogParams WP;
+  WP.Speculate = true;
+  WP.SpecStallThreshold = 1 * sim::MSec;
+  WP.SpecAgeThreshold = 500 * sim::USec;
+  WP.StallThreshold = 500 * sim::MSec; // keep abortive recovery out of play
+  Watchdog Dog(Ctrl, WP);
+  RegionConfig C;
+  C.S = Scheme::PsDswp;
+  C.DoP = {1, 1, 1};
+  Runner.start(C);
+  Dog.start();
+  Sim.run();
+  EXPECT_TRUE(Runner.completed());
+  EXPECT_GE(Dog.speculationsIssued(), 1u)
+      << "the stalled chunk was never re-issued";
+  ASSERT_EQ(Tail.size(), 80u) << "a cancelled clone double-committed or lost "
+                                 "an iteration";
+  for (std::int64_t I = 0; I < 80; ++I)
+    ASSERT_EQ(Tail[static_cast<std::size_t>(I)], I);
 }

@@ -683,13 +683,17 @@ TEST(Machine, StragglerDilatesCompute) {
   EXPECT_EQ(Sim.now(), 2000u);
 }
 
-TEST(FaultPlan, DilationWindowsMultiply) {
+TEST(FaultPlan, OverlappingDilationWindowsCombineWithMax) {
+  // Overlapping windows describe concurrent slowdown causes on one core;
+  // the core runs at the *worst* active dilation. The old behaviour
+  // multiplied the factors (2x and 3x compounding to 6x), silently
+  // over-throttling wherever scattered windows happened to overlap.
   FaultPlan Plan;
   Plan.addStraggler(2, 100, 100, 2.0);
   Plan.addStraggler(2, 150, 100, 3.0);
   EXPECT_DOUBLE_EQ(Plan.dilation(2, 50), 1.0);
   EXPECT_DOUBLE_EQ(Plan.dilation(2, 120), 2.0);
-  EXPECT_DOUBLE_EQ(Plan.dilation(2, 180), 6.0); // stacked co-tenants
+  EXPECT_DOUBLE_EQ(Plan.dilation(2, 180), 3.0); // worst wins, no compounding
   EXPECT_DOUBLE_EQ(Plan.dilation(2, 220), 3.0);
   EXPECT_DOUBLE_EQ(Plan.dilation(2, 260), 1.0);
   EXPECT_DOUBLE_EQ(Plan.dilation(0, 180), 1.0); // other cores nominal
